@@ -1,0 +1,45 @@
+// Paper Figure 1 (CLAIM 4): accuracy of the dpbr protocol vs the
+// Reference Accuracy across the privacy sweep under the Label-flipping
+// attack at 20/40/60% Byzantine workers. Expected shape: the two curves
+// align at every ε except the most extreme privacy levels.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+
+using namespace dpbr;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  benchutil::Scale scale = benchutil::GetScale(flags);
+  benchutil::PrintBanner(
+      "bench_fig1_labelflip_sweep",
+      "Figure 1 (Label-flip, 20-60% Byzantine, accuracy vs eps)", scale);
+
+  TablePrinter table({"dataset", "byz", "eps", "dpbr", "reference"});
+  for (const std::string& dataset : scale.datasets) {
+    int honest = benchutil::DefaultHonest(dataset);
+    for (double eps : scale.eps_grid) {
+      core::ExperimentConfig base;
+      base.dataset = dataset;
+      base.epsilon = eps;
+      base.num_honest = honest;
+      base.seeds = scale.seeds;
+      std::string ref_cell =
+          benchutil::AccCell(benchutil::MustRunReference(base).accuracy);
+      for (double frac : scale.byz_fractions) {
+        core::ExperimentConfig c = base;
+        c.aggregator = "dpbr";
+        c.attack = "label_flip";
+        c.num_byzantine = benchutil::ByzCountFor(honest, frac);
+        table.AddRow({dataset, TablePrinter::Num(100 * frac, 0) + "%",
+                      TablePrinter::Num(eps, 3),
+                      benchutil::AccCell(benchutil::MustRun(c).accuracy),
+                      ref_cell});
+      }
+    }
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Paper Figure 2 (CLAIM 5): resilience when 90% of all workers are
+// Label-flipping Byzantine attackers. Expected shape: dpbr still tracks
+// the Reference Accuracy for ε ≥ 0.5, with a drop only at extreme
+// privacy (ε ≤ 0.25).
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+
+using namespace dpbr;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  benchutil::Scale scale = benchutil::GetScale(flags);
+  benchutil::PrintBanner("bench_fig2_majority_byz",
+                         "Figure 2 (90% Byzantine label-flip)", scale);
+
+  // 90% Byzantine multiplies the worker population 10x; quick mode trims
+  // the dataset list to one to stay fast.
+  std::vector<std::string> datasets = scale.quick
+                                          ? std::vector<std::string>{
+                                                "synth_mnist"}
+                                          : scale.datasets;
+
+  TablePrinter table({"dataset", "eps", "dpbr @ 90% byz", "reference"});
+  for (const std::string& dataset : datasets) {
+    int honest = benchutil::DefaultHonest(dataset);
+    for (double eps : scale.eps_grid) {
+      core::ExperimentConfig base;
+      base.dataset = dataset;
+      base.epsilon = eps;
+      base.num_honest = honest;
+      base.seeds = scale.seeds;
+      core::ExperimentConfig c = base;
+      c.aggregator = "dpbr";
+      c.attack = "label_flip";
+      c.num_byzantine = benchutil::ByzCountFor(honest, 0.9);
+      table.AddRow({dataset, TablePrinter::Num(eps, 3),
+                    benchutil::AccCell(benchutil::MustRun(c).accuracy),
+                    benchutil::AccCell(
+                        benchutil::MustRunReference(base).accuracy)});
+    }
+  }
+  table.Print(std::cout);
+  return 0;
+}

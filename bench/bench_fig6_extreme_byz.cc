@@ -1,0 +1,60 @@
+// Paper supp. Figures 6-17: extreme Byzantine fractions (95% and 99%).
+// Expected shape: at ε = 2 the protocol still tracks the reference; the
+// utility erodes as ε shrinks (exactly the paper's observed trade-off).
+//
+// Note on scale: 99% Byzantine means a 100x worker population. Quick mode
+// uses a reduced honest population so the run stays minutes-scale.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+
+using namespace dpbr;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  benchutil::Scale scale = benchutil::GetScale(flags);
+  benchutil::PrintBanner("bench_fig6_extreme_byz",
+                         "supp. Figures 6-17 (95% / 99% Byzantine)", scale);
+
+  const std::string dataset = "synth_mnist";
+  const int honest = scale.quick ? 5 : benchutil::DefaultHonest(dataset);
+  std::vector<double> fractions = {0.95, 0.99};
+  std::vector<std::string> attacks =
+      scale.quick ? std::vector<std::string>{"opt_lmp"}
+                  : std::vector<std::string>{"label_flip", "gaussian",
+                                             "opt_lmp"};
+  std::vector<double> eps_levels =
+      scale.quick ? std::vector<double>{2.0}
+                  : std::vector<double>{2.0, 0.5};
+
+  core::ExperimentConfig ref_cfg;
+  ref_cfg.dataset = dataset;
+  ref_cfg.epsilon = 2.0;
+  ref_cfg.num_honest = honest;
+  ref_cfg.seeds = scale.seeds;
+
+  TablePrinter table({"attack", "byz", "eps", "dpbr", "workers"});
+  for (const std::string& attack : attacks) {
+    for (double frac : fractions) {
+      for (double eps : eps_levels) {
+        core::ExperimentConfig c = ref_cfg;
+        c.epsilon = eps;
+        c.attack = attack;
+        c.aggregator = "dpbr";
+        c.num_byzantine = benchutil::ByzCountFor(honest, frac);
+        table.AddRow({attack, TablePrinter::Num(100 * frac, 0) + "%",
+                      TablePrinter::Num(eps, 3),
+                      benchutil::AccCell(benchutil::MustRun(c).accuracy),
+                      std::to_string(honest + c.num_byzantine)});
+      }
+    }
+  }
+  table.AddRow({"(reference)", "0%", "2.000",
+                benchutil::AccCell(
+                    benchutil::MustRunReference(ref_cfg).accuracy),
+                std::to_string(honest)});
+  table.Print(std::cout);
+  return 0;
+}

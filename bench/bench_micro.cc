@@ -1,0 +1,128 @@
+// Micro-benchmarks (google-benchmark) for the protocol's hot kernels:
+// the first-stage KS test, the norm test, the second-stage scoring, the
+// baseline aggregators and the RDP accountant.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "aggregators/krum.h"
+#include "aggregators/median.h"
+#include "aggregators/rfa.h"
+#include "common/rng.h"
+#include "core/dpbr_aggregator.h"
+#include "core/first_stage.h"
+#include "dp/rdp_accountant.h"
+#include "stats/ks_test.h"
+
+namespace {
+
+using namespace dpbr;
+
+std::vector<std::vector<float>> NoiseUploads(size_t n, size_t dim,
+                                             double sigma) {
+  SplitRng rng(1);
+  std::vector<std::vector<float>> uploads(n);
+  for (size_t i = 0; i < n; ++i) {
+    uploads[i].resize(dim);
+    SplitRng w = rng.Split(i);
+    w.FillGaussian(uploads[i].data(), dim, sigma);
+  }
+  return uploads;
+}
+
+void BM_KsTestGaussian(benchmark::State& state) {
+  size_t d = static_cast<size_t>(state.range(0));
+  SplitRng rng(2);
+  std::vector<float> u(d);
+  rng.FillGaussian(u.data(), d, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::KsTestGaussian(u, 0.3));
+  }
+  state.SetItemsProcessed(state.iterations() * d);
+}
+BENCHMARK(BM_KsTestGaussian)->Arg(2410)->Arg(21802)->Arg(100000);
+
+void BM_FirstStageApply(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto uploads = NoiseUploads(n, 2410, 0.3);
+  core::FirstStageFilter filter{core::ProtocolOptions{}};
+  for (auto _ : state) {
+    auto copy = uploads;
+    benchmark::DoNotOptimize(filter.Apply(&copy, 0.3));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FirstStageApply)->Arg(20)->Arg(50)->Arg(200);
+
+void BM_DpbrAggregate(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto uploads = NoiseUploads(n, 2410, 0.3);
+  std::vector<float> server_grad(2410, 0.01f);
+  agg::AggregationContext ctx;
+  ctx.dim = 2410;
+  ctx.sigma_upload = 0.3;
+  ctx.gamma = 0.4;
+  ctx.server_gradient = &server_grad;
+  core::DpbrAggregator aggregator;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aggregator.Aggregate(uploads, ctx));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DpbrAggregate)->Arg(20)->Arg(50)->Arg(200);
+
+void BM_Krum(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto uploads = NoiseUploads(n, 2410, 0.3);
+  agg::AggregationContext ctx;
+  ctx.dim = 2410;
+  ctx.gamma = 0.6;
+  agg::KrumAggregator krum;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(krum.Aggregate(uploads, ctx));
+  }
+}
+BENCHMARK(BM_Krum)->Arg(20)->Arg(50);
+
+void BM_CoordinateMedian(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto uploads = NoiseUploads(n, 2410, 0.3);
+  agg::AggregationContext ctx;
+  ctx.dim = 2410;
+  agg::CoordinateMedianAggregator median;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(median.Aggregate(uploads, ctx));
+  }
+}
+BENCHMARK(BM_CoordinateMedian)->Arg(20)->Arg(50);
+
+void BM_RfaGeometricMedian(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto uploads = NoiseUploads(n, 2410, 0.3);
+  agg::AggregationContext ctx;
+  ctx.dim = 2410;
+  agg::RfaAggregator rfa;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rfa.Aggregate(uploads, ctx));
+  }
+}
+BENCHMARK(BM_RfaGeometricMedian)->Arg(20)->Arg(50);
+
+void BM_RdpEpsilon(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp::ComputeEpsilon(0.016, 3.0, 500, 1e-4));
+  }
+}
+BENCHMARK(BM_RdpEpsilon);
+
+void BM_NoiseMultiplierSearch(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp::NoiseMultiplierFor(0.016, 500, 0.5, 1e-4));
+  }
+}
+BENCHMARK(BM_NoiseMultiplierSearch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

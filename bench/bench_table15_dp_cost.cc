@@ -1,0 +1,43 @@
+// Paper supp. Tables 15-16: the cost of DP itself (no attack, no
+// defense). Expected shape: accuracy decreases monotonically as ε
+// shrinks, from the non-DP ceiling down to a visible drop at ε = 0.125,
+// in both i.i.d. and non-i.i.d. settings.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+
+using namespace dpbr;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  benchutil::Scale scale = benchutil::GetScale(flags);
+  benchutil::PrintBanner("bench_table15_dp_cost",
+                         "supp. Tables 15-16 (DP side-effect vs non-DP)",
+                         scale);
+
+  std::vector<double> eps_grid = {-1.0};  // non-DP first
+  for (double e : scale.eps_grid) eps_grid.push_back(e);
+  std::vector<bool> iid_settings =
+      scale.quick ? std::vector<bool>{true} : std::vector<bool>{true, false};
+
+  TablePrinter table({"dataset", "iid", "eps", "reference accuracy"});
+  for (const std::string& dataset : scale.datasets) {
+    for (bool iid : iid_settings) {
+      for (double eps : eps_grid) {
+        core::ExperimentConfig c;
+        c.dataset = dataset;
+        c.epsilon = eps;
+        c.iid = iid;
+        c.seeds = scale.seeds;
+        table.AddRow({dataset, iid ? "yes" : "no",
+                      eps <= 0 ? "non-DP" : TablePrinter::Num(eps, 3),
+                      benchutil::AccCell(
+                          benchutil::MustRunReference(c).accuracy)});
+      }
+    }
+  }
+  table.Print(std::cout);
+  return 0;
+}

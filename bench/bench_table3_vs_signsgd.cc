@@ -1,0 +1,60 @@
+// Paper Table 3: ours vs Zhu & Ling [77] (DP sign-compressed majority
+// vote) on MNIST under the Gaussian attack.
+//
+// Expected shape: the sign-SGD baseline keeps some signal only at small
+// Byzantine fractions and low privacy; dpbr holds the reference level at
+// a high privacy level even with a 60% Byzantine majority.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+
+using namespace dpbr;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  benchutil::Scale scale = benchutil::GetScale(flags);
+  benchutil::PrintBanner("bench_table3_vs_signsgd",
+                         "Table 3 (comparison with [77] on MNIST)", scale);
+
+  const std::string dataset = "synth_mnist";
+  const int honest = benchutil::DefaultHonest(dataset);
+  struct Row {
+    const char* method;
+    const char* aggregator;
+    double byz_frac;
+    double eps;
+  };
+  std::vector<Row> rows = {
+      {"dp-sign [77]", "sign_sgd", 0.1, 0.25},
+      {"dp-sign [77]", "sign_sgd", 0.1, 0.5},
+      {"ours (dpbr)", "dpbr", 0.4, 0.125},
+      {"ours (dpbr)", "dpbr", 0.6, 0.125},
+  };
+
+  TablePrinter table({"method", "byz", "eps", "gaussian_attack"});
+  for (const Row& row : rows) {
+    core::ExperimentConfig c;
+    c.dataset = dataset;
+    c.epsilon = row.eps;
+    c.num_honest = honest;
+    c.num_byzantine = benchutil::ByzCountFor(honest, row.byz_frac);
+    c.attack = "gaussian";
+    c.aggregator = row.aggregator;
+    c.seeds = scale.seeds;
+    table.AddRow({row.method, TablePrinter::Num(100 * row.byz_frac, 0) + "%",
+                  TablePrinter::Num(row.eps, 3),
+                  benchutil::AccCell(benchutil::MustRun(c).accuracy)});
+  }
+  core::ExperimentConfig ref;
+  ref.dataset = dataset;
+  ref.epsilon = 0.125;
+  ref.num_honest = honest;
+  ref.seeds = scale.seeds;
+  table.AddRow({"reference (no attack)", "0%", "0.125",
+                benchutil::AccCell(
+                    benchutil::MustRunReference(ref).accuracy)});
+  table.Print(std::cout);
+  return 0;
+}

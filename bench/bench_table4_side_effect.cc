@@ -1,0 +1,46 @@
+// Paper Table 4 (CLAIM 3): the protocol's "side-effect". 60% of workers
+// are DECLARED Byzantine but behave honestly forever (adaptive attack
+// that never turns hostile); the server keeps its γ = 0.4 belief. The
+// resulting accuracy must match the Reference Accuracy at every ε.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+
+using namespace dpbr;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  benchutil::Scale scale = benchutil::GetScale(flags);
+  benchutil::PrintBanner("bench_table4_side_effect",
+                         "Table 4 (zero-attacker side-effect)", scale);
+
+  TablePrinter table({"dataset", "eps", "RA", "zero (60% silent byz)"});
+  for (const std::string& dataset : scale.datasets) {
+    int honest = benchutil::DefaultHonest(dataset);
+    for (double eps : scale.eps_grid) {
+      core::ExperimentConfig base;
+      base.dataset = dataset;
+      base.epsilon = eps;
+      base.num_honest = honest;
+      base.seeds = scale.seeds;
+
+      core::ExperimentResult ra = benchutil::MustRunReference(base);
+
+      core::ExperimentConfig zero = base;
+      zero.aggregator = "dpbr";
+      zero.num_byzantine = benchutil::ByzCountFor(honest, 0.6);
+      zero.attack = "gaussian";  // instantiated but never fires:
+      zero.ttbb = 1.0;           // camouflage for the whole run
+      zero.gamma = 0.4;          // server's conservative belief stands
+      core::ExperimentResult z = benchutil::MustRun(zero);
+
+      table.AddRow({dataset, TablePrinter::Num(eps, 3),
+                    benchutil::AccCell(ra.accuracy),
+                    benchutil::AccCell(z.accuracy)});
+    }
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Shared plumbing for the table/figure reproduction binaries.
+//
+// Every binary accepts:
+//   --scale=quick|paper   sweep size (default quick: 1 seed, coarse grids)
+//   --seeds=1,2,3         explicit seed list override
+// and prints paper-shaped rows via TablePrinter.
+
+#ifndef DPBR_BENCH_BENCH_UTIL_H_
+#define DPBR_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "core/experiment.h"
+#include "stats/summary.h"
+
+namespace dpbr {
+namespace benchutil {
+
+/// Sweep sizes derived from --scale.
+struct Scale {
+  bool quick = true;
+  std::vector<double> eps_grid;          ///< privacy sweep
+  std::vector<uint64_t> seeds;           ///< repetition seeds
+  std::vector<std::string> datasets;     ///< benchmark subset
+  std::vector<double> byz_fractions;     ///< Byzantine fractions
+};
+
+/// Parses --scale/--seeds into grid sizes (quick: {0.125, 0.5, 2} × seed 1
+/// × {synth_mnist, synth_usps}; paper: the full §6.1 grids).
+Scale GetScale(const Flags& flags);
+
+/// Byzantine worker count m for a target fraction: frac = m/(honest+m).
+int ByzCountFor(int num_honest, double fraction);
+
+/// "0.872 ± 0.004" (σ omitted for single-seed runs).
+std::string AccCell(const stats::RunningStats& s);
+
+/// Prints the standard banner tying a binary to its paper experiment.
+void PrintBanner(const std::string& binary, const std::string& paper_ref,
+                 const Scale& scale);
+
+/// Runs the experiment, aborting the binary with a readable message on
+/// configuration errors (bench configs are static, so errors are bugs).
+core::ExperimentResult MustRun(const core::ExperimentConfig& config);
+
+/// Same for the Reference Accuracy companion run.
+core::ExperimentResult MustRunReference(const core::ExperimentConfig& config);
+
+/// Honest-worker default for a dataset (paper §6.1: 20 or 10).
+int DefaultHonest(const std::string& dataset);
+
+}  // namespace benchutil
+}  // namespace dpbr
+
+#endif  // DPBR_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,66 @@
+// DP accountant command line — the in-repo replacement for the
+// TensorFlow-Privacy noise search the paper relies on (Theorem 3).
+//
+//   # forward: epsilon from a noise multiplier
+//   ./accountant_cli --q=0.0053 --sigma=4.0 --steps=1500 --delta=1.4e-4
+//   # inverse: noise multiplier for a target epsilon
+//   ./accountant_cli --q=0.0053 --eps=0.125 --steps=1500 --delta=1.4e-4
+//   # protocol view: per-worker dataset/batch/epochs instead of q/steps
+//   ./accountant_cli --dataset_size=3000 --batch=16 --epochs=8 --eps=2
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/flags.h"
+#include "dp/privacy_params.h"
+#include "dp/rdp_accountant.h"
+
+int main(int argc, char** argv) {
+  dpbr::Flags flags = dpbr::Flags::Parse(argc, argv);
+
+  if (flags.Has("dataset_size")) {
+    dpbr::dp::PrivacySpec spec;
+    spec.dataset_size = static_cast<int>(flags.GetInt("dataset_size", 1000));
+    spec.batch_size = static_cast<int>(flags.GetInt("batch", 16));
+    spec.epochs = static_cast<int>(flags.GetInt("epochs", 8));
+    spec.epsilon = flags.GetDouble("eps", 1.0);
+    spec.delta = flags.GetDouble("delta", -1.0);
+    auto params = dpbr::dp::CalibratePrivacy(spec);
+    if (!params.ok()) {
+      std::cerr << params.status().ToString() << "\n";
+      return 1;
+    }
+    std::printf("%s\n", params.value().ToString().c_str());
+    std::printf(
+        "Algorithm 1 noise: add N(0, sigma^2 I) with sigma=%.6f to the "
+        "normalized-gradient sum; per-coordinate upload std = %.6f\n",
+        params.value().sigma, params.value().sigma_upload);
+    return 0;
+  }
+
+  double q = flags.GetDouble("q", 0.016);
+  int steps = static_cast<int>(flags.GetInt("steps", 500));
+  double delta = flags.GetDouble("delta", 1e-4);
+
+  if (flags.Has("sigma")) {
+    double sigma = flags.GetDouble("sigma", 1.0);
+    auto eps = dpbr::dp::ComputeEpsilon(q, sigma, steps, delta);
+    if (!eps.ok()) {
+      std::cerr << eps.status().ToString() << "\n";
+      return 1;
+    }
+    std::printf("q=%g sigma=%g steps=%d delta=%g  =>  eps=%.6f\n", q, sigma,
+                steps, delta, eps.value());
+    return 0;
+  }
+
+  double eps = flags.GetDouble("eps", 1.0);
+  auto sigma = dpbr::dp::NoiseMultiplierFor(q, steps, eps, delta);
+  if (!sigma.ok()) {
+    std::cerr << sigma.status().ToString() << "\n";
+    return 1;
+  }
+  std::printf("q=%g eps=%g steps=%d delta=%g  =>  noise multiplier=%.6f\n",
+              q, eps, steps, delta, sigma.value());
+  return 0;
+}

@@ -1,0 +1,30 @@
+#include "aggregators/aggregator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dpbr {
+namespace agg {
+
+Status ValidateUploads(const std::vector<std::vector<float>>& uploads,
+                       const AggregationContext& ctx) {
+  if (uploads.empty()) {
+    return Status::InvalidArgument("no uploads to aggregate");
+  }
+  if (ctx.dim == 0) return Status::InvalidArgument("ctx.dim must be set");
+  for (const auto& u : uploads) {
+    if (u.size() != ctx.dim) {
+      return Status::InvalidArgument("upload dimension mismatch");
+    }
+  }
+  return Status::OK();
+}
+
+size_t TrustedCount(double gamma, size_t n) {
+  double g = std::min(std::max(gamma, 0.0), 1.0);
+  size_t k = static_cast<size_t>(std::ceil(g * static_cast<double>(n)));
+  return std::min(std::max<size_t>(k, 1), n);
+}
+
+}  // namespace agg
+}  // namespace dpbr

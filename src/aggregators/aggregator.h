@@ -1,0 +1,66 @@
+// Server-side gradient aggregation interface.
+//
+// Every robust-aggregation baseline from the paper's comparison table and
+// the dpbr two-stage protocol implement this interface; the FL trainer is
+// agnostic to which rule is plugged in.
+
+#ifndef DPBR_AGGREGATORS_AGGREGATOR_H_
+#define DPBR_AGGREGATORS_AGGREGATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dpbr {
+namespace agg {
+
+/// Per-round information available to the server.
+struct AggregationContext {
+  int round = 0;
+  size_t dim = 0;
+  /// Per-coordinate std of the DP noise in each honest upload (σ/bc);
+  /// 0 when DP is disabled.
+  double sigma_upload = 0.0;
+  /// Server's belief: at least ⌈gamma·n⌉ workers are honest.
+  double gamma = 0.5;
+  /// Gradient computed from the server's auxiliary data, or nullptr when
+  /// the active aggregator does not request one.
+  const std::vector<float>* server_gradient = nullptr;
+};
+
+/// Aggregation rule mapping n uploads to one model-update direction.
+class Aggregator {
+ public:
+  virtual ~Aggregator() = default;
+
+  virtual std::string name() const = 0;
+
+  /// True when Aggregate requires ctx.server_gradient (FLTrust, the dpbr
+  /// second stage). The trainer computes it only on demand.
+  virtual bool NeedsServerGradient() const { return false; }
+
+  /// Combines `uploads` (all of size ctx.dim) into the vector the server
+  /// subtracts (scaled by η) from the model.
+  virtual Result<std::vector<float>> Aggregate(
+      const std::vector<std::vector<float>>& uploads,
+      const AggregationContext& ctx) = 0;
+
+  /// Clears any cross-round state (e.g. cumulative score lists).
+  virtual void Reset() {}
+};
+
+using AggregatorPtr = std::unique_ptr<Aggregator>;
+
+/// Shared validation: non-empty upload set, uniform dimension == ctx.dim.
+Status ValidateUploads(const std::vector<std::vector<float>>& uploads,
+                       const AggregationContext& ctx);
+
+/// Number of workers the server trusts: ⌈gamma·n⌉, clamped to [1, n].
+size_t TrustedCount(double gamma, size_t n);
+
+}  // namespace agg
+}  // namespace dpbr
+
+#endif  // DPBR_AGGREGATORS_AGGREGATOR_H_

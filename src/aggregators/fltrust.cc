@@ -1,0 +1,48 @@
+#include "aggregators/fltrust.h"
+
+#include <algorithm>
+
+#include "tensor/ops.h"
+
+namespace dpbr {
+namespace agg {
+
+Result<std::vector<float>> FlTrustAggregator::Aggregate(
+    const std::vector<std::vector<float>>& uploads,
+    const AggregationContext& ctx) {
+  DPBR_RETURN_NOT_OK(ValidateUploads(uploads, ctx));
+  if (ctx.server_gradient == nullptr) {
+    return Status::FailedPrecondition("FLTrust needs a server gradient");
+  }
+  const std::vector<float>& gs = *ctx.server_gradient;
+  if (gs.size() != ctx.dim) {
+    return Status::InvalidArgument("server gradient dimension mismatch");
+  }
+  double gs_norm = ops::Norm(gs);
+  if (gs_norm == 0.0) {
+    return Status::FailedPrecondition("server gradient is zero");
+  }
+
+  std::vector<float> out(ctx.dim, 0.0f);
+  double weight_sum = 0.0;
+  for (const auto& u : uploads) {
+    double cos = ops::CosineSimilarity(u, gs);
+    double w = std::max(cos, 0.0);  // ReLU trust score
+    if (w == 0.0) continue;
+    double u_norm = ops::Norm(u);
+    if (u_norm == 0.0) continue;
+    // Rescale the upload to the server gradient's magnitude.
+    float scale = static_cast<float>(w * gs_norm / u_norm);
+    ops::Axpy(scale, u.data(), out.data(), ctx.dim);
+    weight_sum += w;
+  }
+  if (weight_sum == 0.0) {
+    // All uploads rejected: no update this round.
+    return std::vector<float>(ctx.dim, 0.0f);
+  }
+  ops::Scale(static_cast<float>(1.0 / weight_sum), out.data(), ctx.dim);
+  return out;
+}
+
+}  // namespace agg
+}  // namespace dpbr

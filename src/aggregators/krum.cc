@@ -1,0 +1,68 @@
+#include "aggregators/krum.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "tensor/ops.h"
+
+namespace dpbr {
+namespace agg {
+
+Result<std::vector<float>> KrumAggregator::Aggregate(
+    const std::vector<std::vector<float>>& uploads,
+    const AggregationContext& ctx) {
+  DPBR_RETURN_NOT_OK(ValidateUploads(uploads, ctx));
+  size_t n = uploads.size();
+  size_t trusted = TrustedCount(ctx.gamma, n);
+  size_t f = n - trusted;  // assumed Byzantine count
+  // Krum needs n >= f + 3 so that n - f - 2 >= 1 neighbors exist.
+  size_t neighbors = (n > f + 2) ? (n - f - 2) : 1;
+  if (n < 3) {
+    return Status::FailedPrecondition("Krum requires at least 3 uploads");
+  }
+  neighbors = std::min(neighbors, n - 1);
+
+  // Pairwise squared distances (symmetric).
+  std::vector<double> d2(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double s = 0.0;
+      const float* a = uploads[i].data();
+      const float* b = uploads[j].data();
+      for (size_t k = 0; k < ctx.dim; ++k) {
+        double diff = static_cast<double>(a[k]) - b[k];
+        s += diff * diff;
+      }
+      d2[i * n + j] = s;
+      d2[j * n + i] = s;
+    }
+  }
+
+  // Krum score: sum of the `neighbors` smallest distances to others.
+  std::vector<double> score(n, 0.0);
+  std::vector<double> row(n - 1);
+  for (size_t i = 0; i < n; ++i) {
+    size_t m = 0;
+    for (size_t j = 0; j < n; ++j) {
+      if (j != i) row[m++] = d2[i * n + j];
+    }
+    std::nth_element(row.begin(), row.begin() + neighbors - 1, row.end());
+    double s = 0.0;
+    for (size_t k = 0; k < neighbors; ++k) s += row[k];
+    score[i] = s;
+  }
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&score](size_t a, size_t b) { return score[a] < score[b]; });
+
+  size_t take = std::min(std::max<size_t>(multi_k_, 1), n);
+  std::vector<std::vector<float>> selected;
+  selected.reserve(take);
+  for (size_t k = 0; k < take; ++k) selected.push_back(uploads[order[k]]);
+  return ops::MeanOf(selected);
+}
+
+}  // namespace agg
+}  // namespace dpbr

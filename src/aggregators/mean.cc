@@ -1,0 +1,16 @@
+#include "aggregators/mean.h"
+
+#include "tensor/ops.h"
+
+namespace dpbr {
+namespace agg {
+
+Result<std::vector<float>> MeanAggregator::Aggregate(
+    const std::vector<std::vector<float>>& uploads,
+    const AggregationContext& ctx) {
+  DPBR_RETURN_NOT_OK(ValidateUploads(uploads, ctx));
+  return ops::MeanOf(uploads);
+}
+
+}  // namespace agg
+}  // namespace dpbr

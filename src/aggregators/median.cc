@@ -1,0 +1,32 @@
+#include "aggregators/median.h"
+
+#include <algorithm>
+
+namespace dpbr {
+namespace agg {
+
+Result<std::vector<float>> CoordinateMedianAggregator::Aggregate(
+    const std::vector<std::vector<float>>& uploads,
+    const AggregationContext& ctx) {
+  DPBR_RETURN_NOT_OK(ValidateUploads(uploads, ctx));
+  size_t n = uploads.size();
+  std::vector<float> out(ctx.dim);
+  std::vector<float> column(n);
+  for (size_t j = 0; j < ctx.dim; ++j) {
+    for (size_t i = 0; i < n; ++i) column[i] = uploads[i][j];
+    size_t mid = n / 2;
+    std::nth_element(column.begin(), column.begin() + mid, column.end());
+    float hi = column[mid];
+    if (n % 2 == 1) {
+      out[j] = hi;
+    } else {
+      std::nth_element(column.begin(), column.begin() + mid - 1,
+                       column.end());
+      out[j] = 0.5f * (hi + column[mid - 1]);
+    }
+  }
+  return out;
+}
+
+}  // namespace agg
+}  // namespace dpbr

@@ -1,0 +1,25 @@
+// Coordinate-wise median (Yin et al. 2018), paper supp. A.3.
+
+#ifndef DPBR_AGGREGATORS_MEDIAN_H_
+#define DPBR_AGGREGATORS_MEDIAN_H_
+
+#include <string>
+
+#include "aggregators/aggregator.h"
+
+namespace dpbr {
+namespace agg {
+
+/// out[j] = median(uploads[0][j], ..., uploads[n-1][j]).
+class CoordinateMedianAggregator : public Aggregator {
+ public:
+  std::string name() const override { return "coordinate_median"; }
+  Result<std::vector<float>> Aggregate(
+      const std::vector<std::vector<float>>& uploads,
+      const AggregationContext& ctx) override;
+};
+
+}  // namespace agg
+}  // namespace dpbr
+
+#endif  // DPBR_AGGREGATORS_MEDIAN_H_

@@ -1,0 +1,34 @@
+#include "aggregators/norm_bound.h"
+
+#include <algorithm>
+
+#include "stats/summary.h"
+#include "tensor/ops.h"
+
+namespace dpbr {
+namespace agg {
+
+Result<std::vector<float>> NormBoundAggregator::Aggregate(
+    const std::vector<std::vector<float>>& uploads,
+    const AggregationContext& ctx) {
+  DPBR_RETURN_NOT_OK(ValidateUploads(uploads, ctx));
+  double bound = bound_;
+  if (bound <= 0.0) {
+    std::vector<double> norms;
+    norms.reserve(uploads.size());
+    for (const auto& u : uploads) norms.push_back(ops::Norm(u));
+    bound = stats::Median(std::move(norms));
+    if (bound == 0.0) return std::vector<float>(ctx.dim, 0.0f);
+  }
+  std::vector<float> out(ctx.dim, 0.0f);
+  for (const auto& u : uploads) {
+    double n = ops::Norm(u);
+    float scale = (n > bound) ? static_cast<float>(bound / n) : 1.0f;
+    ops::Axpy(scale, u.data(), out.data(), ctx.dim);
+  }
+  ops::Scale(1.0f / static_cast<float>(uploads.size()), out.data(), ctx.dim);
+  return out;
+}
+
+}  // namespace agg
+}  // namespace dpbr

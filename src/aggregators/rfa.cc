@@ -1,0 +1,46 @@
+#include "aggregators/rfa.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace dpbr {
+namespace agg {
+
+Result<std::vector<float>> RfaAggregator::Aggregate(
+    const std::vector<std::vector<float>>& uploads,
+    const AggregationContext& ctx) {
+  DPBR_RETURN_NOT_OK(ValidateUploads(uploads, ctx));
+  size_t n = uploads.size();
+  std::vector<float> g = ops::MeanOf(uploads);  // warm start at the mean
+  std::vector<double> w(n);
+  for (int iter = 0; iter < max_iters_; ++iter) {
+    double wsum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double dist2 = 0.0;
+      for (size_t k = 0; k < ctx.dim; ++k) {
+        double d = static_cast<double>(g[k]) - uploads[i][k];
+        dist2 += d * d;
+      }
+      w[i] = 1.0 / std::sqrt(dist2 + smoothing_ * smoothing_);
+      wsum += w[i];
+    }
+    std::vector<float> next(ctx.dim, 0.0f);
+    for (size_t i = 0; i < n; ++i) {
+      float wi = static_cast<float>(w[i] / wsum);
+      ops::Axpy(wi, uploads[i].data(), next.data(), ctx.dim);
+    }
+    // Converged when the iterate barely moves.
+    double delta2 = 0.0;
+    for (size_t k = 0; k < ctx.dim; ++k) {
+      double d = static_cast<double>(next[k]) - g[k];
+      delta2 += d * d;
+    }
+    g.swap(next);
+    if (delta2 < 1e-18) break;
+  }
+  return g;
+}
+
+}  // namespace agg
+}  // namespace dpbr

@@ -1,0 +1,30 @@
+#include "aggregators/sign_sgd.h"
+
+#include <cmath>
+
+namespace dpbr {
+namespace agg {
+
+Result<std::vector<float>> SignSgdAggregator::Aggregate(
+    const std::vector<std::vector<float>>& uploads,
+    const AggregationContext& ctx) {
+  DPBR_RETURN_NOT_OK(ValidateUploads(uploads, ctx));
+  double scale = scale_ > 0.0
+                     ? scale_
+                     : 1.0 / std::sqrt(static_cast<double>(ctx.dim));
+  std::vector<float> out(ctx.dim);
+  for (size_t j = 0; j < ctx.dim; ++j) {
+    int vote = 0;
+    for (const auto& u : uploads) {
+      // 1 for non-negative, -1 for negative (paper §3.2's description of
+      // the sign-compression family).
+      vote += (u[j] >= 0.0f) ? 1 : -1;
+    }
+    out[j] = static_cast<float>(scale * (vote > 0 ? 1.0 : (vote < 0 ? -1.0
+                                                                    : 0.0)));
+  }
+  return out;
+}
+
+}  // namespace agg
+}  // namespace dpbr

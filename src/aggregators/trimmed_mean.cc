@@ -1,0 +1,38 @@
+#include "aggregators/trimmed_mean.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dpbr {
+namespace agg {
+
+TrimmedMeanAggregator::TrimmedMeanAggregator(double trim_fraction)
+    : trim_fraction_(trim_fraction) {
+  DPBR_CHECK_GE(trim_fraction_, 0.0);
+  DPBR_CHECK_LT(trim_fraction_, 0.5);
+}
+
+Result<std::vector<float>> TrimmedMeanAggregator::Aggregate(
+    const std::vector<std::vector<float>>& uploads,
+    const AggregationContext& ctx) {
+  DPBR_RETURN_NOT_OK(ValidateUploads(uploads, ctx));
+  size_t n = uploads.size();
+  size_t k = static_cast<size_t>(std::floor(trim_fraction_ *
+                                            static_cast<double>(n)));
+  if (2 * k >= n) k = (n - 1) / 2;
+  std::vector<float> out(ctx.dim);
+  std::vector<float> column(n);
+  for (size_t j = 0; j < ctx.dim; ++j) {
+    for (size_t i = 0; i < n; ++i) column[i] = uploads[i][j];
+    std::sort(column.begin(), column.end());
+    double s = 0.0;
+    for (size_t i = k; i < n - k; ++i) s += column[i];
+    out[j] = static_cast<float>(s / static_cast<double>(n - 2 * k));
+  }
+  return out;
+}
+
+}  // namespace agg
+}  // namespace dpbr

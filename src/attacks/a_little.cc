@@ -1,0 +1,59 @@
+#include "attacks/a_little.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "stats/distributions.h"
+
+namespace dpbr {
+namespace attacks {
+
+std::vector<std::vector<float>> ALittleAttack::Forge(
+    const fl::AttackContext& ctx, size_t num_byzantine) {
+  DPBR_CHECK(ctx.honest_uploads != nullptr);
+  const auto& honest = *ctx.honest_uploads;
+  DPBR_CHECK(!honest.empty());
+  size_t bm = honest.size();
+  size_t n = bm + num_byzantine;
+
+  double z;
+  if (z_override_ > 0.0) {
+    z = z_override_;
+  } else {
+    // Baruch et al.: s = ⌊n/2 + 1⌋ − m supporters needed for a corrupted
+    // majority; z_max = Φ⁻¹((n − m − s)/(n − m)).
+    double m = static_cast<double>(num_byzantine);
+    double s =
+        std::floor(static_cast<double>(n) / 2.0 + 1.0) - m;
+    double frac = (static_cast<double>(n) - m - s) /
+                  (static_cast<double>(n) - m);
+    frac = std::min(std::max(frac, 0.05), 0.95);
+    z = stats::NormalQuantile(frac);
+    z = std::min(std::max(z, 0.5), 3.0);
+  }
+
+  // Benign per-coordinate mean and std.
+  std::vector<double> mean(ctx.dim, 0.0), var(ctx.dim, 0.0);
+  for (const auto& u : honest) {
+    for (size_t k = 0; k < ctx.dim; ++k) mean[k] += u[k];
+  }
+  for (auto& v : mean) v /= static_cast<double>(bm);
+  for (const auto& u : honest) {
+    for (size_t k = 0; k < ctx.dim; ++k) {
+      double d = u[k] - mean[k];
+      var[k] += d * d;
+    }
+  }
+  double denom = bm > 1 ? static_cast<double>(bm - 1) : 1.0;
+
+  std::vector<float> forged(ctx.dim);
+  for (size_t k = 0; k < ctx.dim; ++k) {
+    double sd = std::sqrt(var[k] / denom);
+    forged[k] = static_cast<float>(mean[k] - z * sd);
+  }
+  return std::vector<std::vector<float>>(num_byzantine, forged);
+}
+
+}  // namespace attacks
+}  // namespace dpbr

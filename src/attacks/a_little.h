@@ -1,0 +1,34 @@
+// "A little is enough" attack (Baruch et al. 2019, paper Table 2):
+// Byzantine uploads sit at μ - z·s coordinate-wise, where μ and s are the
+// benign per-coordinate mean and std and z is chosen just small enough to
+// hide inside the benign spread while still steering the aggregate.
+
+#ifndef DPBR_ATTACKS_A_LITTLE_H_
+#define DPBR_ATTACKS_A_LITTLE_H_
+
+#include <string>
+
+#include "fl/attack_interface.h"
+
+namespace dpbr {
+namespace attacks {
+
+class ALittleAttack : public fl::Attack {
+ public:
+  /// z_override > 0 fixes the deviation factor; otherwise z is derived
+  /// from the population split as in the original paper and clamped to
+  /// [0.5, 3].
+  explicit ALittleAttack(double z_override = -1.0) : z_override_(z_override) {}
+
+  std::string name() const override { return "a_little"; }
+  std::vector<std::vector<float>> Forge(const fl::AttackContext& ctx,
+                                        size_t num_byzantine) override;
+
+ private:
+  double z_override_;
+};
+
+}  // namespace attacks
+}  // namespace dpbr
+
+#endif  // DPBR_ATTACKS_A_LITTLE_H_

@@ -1,0 +1,45 @@
+#include "attacks/adaptive.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dpbr {
+namespace attacks {
+
+AdaptiveAttack::AdaptiveAttack(fl::AttackPtr inner, double ttbb)
+    : inner_(std::move(inner)), ttbb_(ttbb) {
+  DPBR_CHECK(inner_ != nullptr);
+  DPBR_CHECK_GE(ttbb_, 0.0);
+  DPBR_CHECK_LE(ttbb_, 1.0);
+}
+
+std::string AdaptiveAttack::name() const {
+  return "adaptive(" + inner_->name() + ")";
+}
+
+bool AdaptiveAttack::wants_poisoned_uploads() const {
+  return inner_->wants_poisoned_uploads();
+}
+
+std::vector<std::vector<float>> AdaptiveAttack::Forge(
+    const fl::AttackContext& ctx, size_t num_byzantine) {
+  double switch_round = ttbb_ * static_cast<double>(ctx.total_rounds);
+  if (static_cast<double>(ctx.round) > switch_round) {
+    return inner_->Forge(ctx, num_byzantine);
+  }
+  // Camouflage phase: each Byzantine worker replays a random honest
+  // worker's upload of this round (indistinguishable from honest).
+  DPBR_CHECK(ctx.honest_uploads != nullptr);
+  const auto& honest = *ctx.honest_uploads;
+  DPBR_CHECK(!honest.empty());
+  DPBR_CHECK(ctx.rng != nullptr);
+  std::vector<std::vector<float>> out(num_byzantine);
+  for (size_t b = 0; b < num_byzantine; ++b) {
+    out[b] = honest[ctx.rng->UniformInt(honest.size())];
+  }
+  return out;
+}
+
+}  // namespace attacks
+}  // namespace dpbr

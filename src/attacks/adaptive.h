@@ -1,0 +1,35 @@
+// Adaptive attack (paper §4.6, Table 5): Byzantine workers camouflage as
+// honest — copying random honest uploads — until round TTBB·T, then switch
+// to any inner attack strategy.
+
+#ifndef DPBR_ATTACKS_ADAPTIVE_H_
+#define DPBR_ATTACKS_ADAPTIVE_H_
+
+#include <memory>
+#include <string>
+
+#include "fl/attack_interface.h"
+
+namespace dpbr {
+namespace attacks {
+
+class AdaptiveAttack : public fl::Attack {
+ public:
+  /// `ttbb` (Time To Be Byzantine) ∈ [0, 1]: fraction of total rounds the
+  /// attacker stays honest-looking before `inner` takes over.
+  AdaptiveAttack(fl::AttackPtr inner, double ttbb);
+
+  std::string name() const override;
+  bool wants_poisoned_uploads() const override;
+  std::vector<std::vector<float>> Forge(const fl::AttackContext& ctx,
+                                        size_t num_byzantine) override;
+
+ private:
+  fl::AttackPtr inner_;
+  double ttbb_;
+};
+
+}  // namespace attacks
+}  // namespace dpbr
+
+#endif  // DPBR_ATTACKS_ADAPTIVE_H_

@@ -1,0 +1,25 @@
+// The Attack interface itself lives in fl/attack_interface.h (the trainer
+// must see it without depending on concrete attacks). This TU anchors the
+// attacks library and hosts shared helpers.
+
+#include "attacks/attacks_common.h"
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace dpbr {
+namespace attacks {
+
+std::vector<float> SumOfHonestUploads(const fl::AttackContext& ctx) {
+  DPBR_CHECK(ctx.honest_uploads != nullptr);
+  DPBR_CHECK(!ctx.honest_uploads->empty());
+  std::vector<float> sum(ctx.dim, 0.0f);
+  for (const auto& u : *ctx.honest_uploads) {
+    DPBR_CHECK_EQ(u.size(), ctx.dim);
+    ops::Axpy(1.0f, u.data(), sum.data(), ctx.dim);
+  }
+  return sum;
+}
+
+}  // namespace attacks
+}  // namespace dpbr

@@ -1,0 +1,20 @@
+// Shared helpers for attack implementations.
+
+#ifndef DPBR_ATTACKS_ATTACKS_COMMON_H_
+#define DPBR_ATTACKS_ATTACKS_COMMON_H_
+
+#include <vector>
+
+#include "fl/attack_interface.h"
+
+namespace dpbr {
+namespace attacks {
+
+/// Σ over all honest uploads of the round (the omniscient attacker can
+/// compute this; OptLMP and "A little" build on it).
+std::vector<float> SumOfHonestUploads(const fl::AttackContext& ctx);
+
+}  // namespace attacks
+}  // namespace dpbr
+
+#endif  // DPBR_ATTACKS_ATTACKS_COMMON_H_

@@ -1,0 +1,23 @@
+#include "attacks/gaussian_attack.h"
+
+#include "common/logging.h"
+
+namespace dpbr {
+namespace attacks {
+
+std::vector<std::vector<float>> GaussianAttack::Forge(
+    const fl::AttackContext& ctx, size_t num_byzantine) {
+  DPBR_CHECK(ctx.rng != nullptr);
+  double stddev =
+      ctx.sigma_upload > 0.0 ? scale_ * ctx.sigma_upload : scale_;
+  std::vector<std::vector<float>> out(num_byzantine);
+  for (size_t b = 0; b < num_byzantine; ++b) {
+    SplitRng rng = ctx.rng->Split(b);
+    out[b].resize(ctx.dim);
+    rng.FillGaussian(out[b].data(), ctx.dim, stddev);
+  }
+  return out;
+}
+
+}  // namespace attacks
+}  // namespace dpbr

@@ -1,0 +1,35 @@
+// Gaussian attack (paper §2.3): Byzantine workers upload pure Gaussian
+// noise. Against the dpbr protocol the attacker draws at exactly the DP
+// noise level σ_up so that the forgeries pass the first-stage tests by
+// construction (Guideline 1 with an arbitrary permutation).
+
+#ifndef DPBR_ATTACKS_GAUSSIAN_ATTACK_H_
+#define DPBR_ATTACKS_GAUSSIAN_ATTACK_H_
+
+#include <string>
+
+#include "fl/attack_interface.h"
+
+namespace dpbr {
+namespace attacks {
+
+class GaussianAttack : public fl::Attack {
+ public:
+  /// scale multiplies the DP noise level (1.0 = camouflaged at σ_up;
+  /// larger values model the cruder "hurt utility with big noise" variant
+  /// used against non-DP baselines). When the run has no DP noise,
+  /// a fixed fallback std of `scale` is used.
+  explicit GaussianAttack(double scale = 1.0) : scale_(scale) {}
+
+  std::string name() const override { return "gaussian"; }
+  std::vector<std::vector<float>> Forge(const fl::AttackContext& ctx,
+                                        size_t num_byzantine) override;
+
+ private:
+  double scale_;
+};
+
+}  // namespace attacks
+}  // namespace dpbr
+
+#endif  // DPBR_ATTACKS_GAUSSIAN_ATTACK_H_

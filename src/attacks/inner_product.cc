@@ -1,0 +1,20 @@
+#include "attacks/inner_product.h"
+
+#include "attacks/attacks_common.h"
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace dpbr {
+namespace attacks {
+
+std::vector<std::vector<float>> InnerProductAttack::Forge(
+    const fl::AttackContext& ctx, size_t num_byzantine) {
+  DPBR_CHECK(ctx.honest_uploads != nullptr);
+  double bm = static_cast<double>(ctx.honest_uploads->size());
+  std::vector<float> forged = ops::Scaled(
+      SumOfHonestUploads(ctx), static_cast<float>(-scale_ / bm));
+  return std::vector<std::vector<float>>(num_byzantine, forged);
+}
+
+}  // namespace attacks
+}  // namespace dpbr

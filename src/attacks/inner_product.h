@@ -1,0 +1,31 @@
+// Inner-product manipulation attack ("Fall of Empires", Xie et al. 2020,
+// paper Table 2): Byzantine uploads point along the *negated* benign mean,
+// making the aggregate's inner product with the true gradient negative.
+
+#ifndef DPBR_ATTACKS_INNER_PRODUCT_H_
+#define DPBR_ATTACKS_INNER_PRODUCT_H_
+
+#include <string>
+
+#include "fl/attack_interface.h"
+
+namespace dpbr {
+namespace attacks {
+
+class InnerProductAttack : public fl::Attack {
+ public:
+  /// Upload = -scale · mean(benign uploads).
+  explicit InnerProductAttack(double scale = 1.0) : scale_(scale) {}
+
+  std::string name() const override { return "inner_product"; }
+  std::vector<std::vector<float>> Forge(const fl::AttackContext& ctx,
+                                        size_t num_byzantine) override;
+
+ private:
+  double scale_;
+};
+
+}  // namespace attacks
+}  // namespace dpbr
+
+#endif  // DPBR_ATTACKS_INNER_PRODUCT_H_

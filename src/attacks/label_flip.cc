@@ -1,0 +1,16 @@
+#include "attacks/label_flip.h"
+
+#include "common/logging.h"
+
+namespace dpbr {
+namespace attacks {
+
+std::vector<std::vector<float>> LabelFlipAttack::Forge(
+    const fl::AttackContext& ctx, size_t num_byzantine) {
+  DPBR_CHECK(ctx.poisoned_uploads != nullptr);
+  DPBR_CHECK_EQ(ctx.poisoned_uploads->size(), num_byzantine);
+  return *ctx.poisoned_uploads;
+}
+
+}  // namespace attacks
+}  // namespace dpbr

@@ -1,0 +1,28 @@
+// Label-flipping attack (paper §2.3): Byzantine workers follow the DP
+// protocol faithfully but over locally poisoned data whose labels are
+// flipped I → H-1-I. The forged uploads are therefore produced by the
+// trainer's poisoned-protocol workers; this class simply requests and
+// forwards them.
+
+#ifndef DPBR_ATTACKS_LABEL_FLIP_H_
+#define DPBR_ATTACKS_LABEL_FLIP_H_
+
+#include <string>
+
+#include "fl/attack_interface.h"
+
+namespace dpbr {
+namespace attacks {
+
+class LabelFlipAttack : public fl::Attack {
+ public:
+  std::string name() const override { return "label_flip"; }
+  bool wants_poisoned_uploads() const override { return true; }
+  std::vector<std::vector<float>> Forge(const fl::AttackContext& ctx,
+                                        size_t num_byzantine) override;
+};
+
+}  // namespace attacks
+}  // namespace dpbr
+
+#endif  // DPBR_ATTACKS_LABEL_FLIP_H_

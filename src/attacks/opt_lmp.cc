@@ -1,0 +1,32 @@
+#include "attacks/opt_lmp.h"
+
+#include <cmath>
+
+#include "attacks/attacks_common.h"
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace dpbr {
+namespace attacks {
+
+std::vector<std::vector<float>> OptLmpAttack::Forge(
+    const fl::AttackContext& ctx, size_t num_byzantine) {
+  DPBR_CHECK(ctx.honest_uploads != nullptr);
+  double bm = static_cast<double>(ctx.honest_uploads->size());
+  double mn = static_cast<double>(num_byzantine);
+  std::vector<float> benign_sum = SumOfHonestUploads(ctx);
+
+  // λ = M_n/√B_m − 1; the attack only exists for M_n > √B_m (Eq. 10).
+  // With too few Byzantine workers the attacker falls back to the plain
+  // inverse-sum direction at unit share (λ = 0), the strongest admissible
+  // scaling that keeps per-upload norms near benign levels.
+  double lambda = mn / std::sqrt(bm) - 1.0;
+  if (lambda < 0.0) lambda = 0.0;
+  float coef = static_cast<float>(-(1.0 + lambda) / mn);
+
+  std::vector<float> forged = ops::Scaled(benign_sum, coef);
+  return std::vector<std::vector<float>>(num_byzantine, forged);
+}
+
+}  // namespace attacks
+}  // namespace dpbr

@@ -1,0 +1,31 @@
+// Optimized Local Model Poisoning attack instantiated against the dpbr
+// protocol (paper §4.6, Equations 8-10).
+//
+// The attacker sets every Byzantine upload to
+//     g_M = -(1+λ)/M_n · Σ_j g_Bj      with λ = M_n/√B_m - 1,
+// which (a) drives the aggregate toward the inverse of the benign sum and
+// (b) matches the benign uploads' noise statistics so the forgeries pass
+// the first-stage norm and KS tests (‖Σ g_B‖ ≈ σ_up·√(B_m·d), hence each
+// forgery's norm ≈ σ_up·√d). The construction requires M_n > √B_m.
+
+#ifndef DPBR_ATTACKS_OPT_LMP_H_
+#define DPBR_ATTACKS_OPT_LMP_H_
+
+#include <string>
+
+#include "fl/attack_interface.h"
+
+namespace dpbr {
+namespace attacks {
+
+class OptLmpAttack : public fl::Attack {
+ public:
+  std::string name() const override { return "opt_lmp"; }
+  std::vector<std::vector<float>> Forge(const fl::AttackContext& ctx,
+                                        size_t num_byzantine) override;
+};
+
+}  // namespace attacks
+}  // namespace dpbr
+
+#endif  // DPBR_ATTACKS_OPT_LMP_H_

@@ -1,0 +1,52 @@
+// Minimal command-line flag parsing for examples and bench harnesses.
+//
+// Syntax: --name=value or --name value; bare --name sets a bool flag true.
+// Unknown flags are collected so callers can reject or forward them
+// (google-benchmark binaries forward leftovers to the benchmark library).
+
+#ifndef DPBR_COMMON_FLAGS_H_
+#define DPBR_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dpbr {
+
+/// Parsed command line: flag map plus positional arguments.
+class Flags {
+ public:
+  /// Parses argv[1..argc). Never fails; malformed tokens become
+  /// positional arguments.
+  static Flags Parse(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+
+  /// Typed accessors with defaults. Parse errors fall back to the default
+  /// (and are surfaced by GetOrStatus for callers that must validate).
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  /// Strict integer accessor; error when present but unparseable.
+  Result<int64_t> GetIntOrStatus(const std::string& name,
+                                 int64_t default_value) const;
+
+  /// Comma-separated list of doubles, e.g. --eps=0.125,0.25,2.
+  std::vector<double> GetDoubleList(
+      const std::string& name, const std::vector<double>& default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dpbr
+
+#endif  // DPBR_COMMON_FLAGS_H_

@@ -1,0 +1,103 @@
+// Lightweight logging and invariant-checking macros.
+//
+// DPBR_CHECK* abort with a source location on violated internal invariants
+// (programming errors); user-input errors should go through Status instead.
+
+#ifndef DPBR_COMMON_LOGGING_H_
+#define DPBR_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dpbr {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Global minimum level actually emitted (default kInfo). Thread-safe.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction. kFatal aborts.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the log level is filtered out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace dpbr
+
+#define DPBR_LOG(level)                                                  \
+  (static_cast<int>(::dpbr::LogLevel::k##level) <                        \
+   static_cast<int>(::dpbr::GetLogLevel()))                              \
+      ? (void)0                                                          \
+      : (void)::dpbr::internal::LogMessage(::dpbr::LogLevel::k##level,   \
+                                           __FILE__, __LINE__)
+
+#define DPBR_LOG_STREAM(level) \
+  ::dpbr::internal::LogMessage(::dpbr::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Aborts with a message when `cond` is false. Always on (release too):
+/// data-corruption bugs in an aggregation protocol must not pass silently.
+#define DPBR_CHECK(cond)                                                   \
+  (cond) ? (void)0                                                         \
+         : (void)(::dpbr::internal::LogMessage(::dpbr::LogLevel::kFatal,   \
+                                               __FILE__, __LINE__)         \
+                  << "Check failed: " #cond " ")
+
+#define DPBR_CHECK_OP_(a, b, op)                                           \
+  ((a)op(b)) ? (void)0                                                     \
+             : (void)(::dpbr::internal::LogMessage(                        \
+                          ::dpbr::LogLevel::kFatal, __FILE__, __LINE__)    \
+                      << "Check failed: " #a " " #op " " #b " (" << (a)    \
+                      << " vs " << (b) << ") ")
+
+#define DPBR_CHECK_EQ(a, b) DPBR_CHECK_OP_(a, b, ==)
+#define DPBR_CHECK_NE(a, b) DPBR_CHECK_OP_(a, b, !=)
+#define DPBR_CHECK_LT(a, b) DPBR_CHECK_OP_(a, b, <)
+#define DPBR_CHECK_LE(a, b) DPBR_CHECK_OP_(a, b, <=)
+#define DPBR_CHECK_GT(a, b) DPBR_CHECK_OP_(a, b, >)
+#define DPBR_CHECK_GE(a, b) DPBR_CHECK_OP_(a, b, >=)
+
+/// Checks that a Status-returning expression is OK.
+#define DPBR_CHECK_OK(expr)                                               \
+  do {                                                                    \
+    ::dpbr::Status _st = (expr);                                          \
+    if (!_st.ok()) {                                                      \
+      ::dpbr::internal::LogMessage(::dpbr::LogLevel::kFatal, __FILE__,    \
+                                   __LINE__)                              \
+          << "Status not OK: " << _st.ToString();                         \
+    }                                                                     \
+  } while (0)
+
+#endif  // DPBR_COMMON_LOGGING_H_

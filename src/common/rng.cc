@@ -1,0 +1,108 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dpbr {
+namespace {
+
+// SplitMix64 output function (Steele, Lea, Flood 2014). Bijective mixer with
+// good avalanche; the de-facto standard for seeding and counter RNGs.
+inline uint64_t Mix64(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Combines a key with a stream id into a new key (hash-combine style).
+inline uint64_t Combine(uint64_t key, uint64_t id) {
+  return Mix64(key ^ (Mix64(id) + 0x9e3779b97f4a7c15ULL + (key << 6) +
+                      (key >> 2)));
+}
+
+}  // namespace
+
+SplitRng::SplitRng(uint64_t seed)
+    : key_(Mix64(seed)), counter_(0), has_spare_(false), spare_(0.0) {}
+
+SplitRng::SplitRng(uint64_t seed, std::initializer_list<uint64_t> ids)
+    : SplitRng(seed) {
+  for (uint64_t id : ids) key_ = Combine(key_, id);
+}
+
+SplitRng SplitRng::Split(uint64_t id) const {
+  return SplitRng(Combine(key_, id), 0);
+}
+
+uint64_t SplitRng::Next64() { return Mix64(key_ + counter_++); }
+
+double SplitRng::Uniform() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+}
+
+double SplitRng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * Uniform();
+}
+
+uint64_t SplitRng::UniformInt(uint64_t n) {
+  DPBR_CHECK_GT(n, 0u);
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (~uint64_t{0} - n + 1) % n;
+  for (;;) {
+    uint64_t r = Next64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double SplitRng::Gaussian() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  // Box-Muller; u1 in (0,1] to keep log finite.
+  double u1 = 1.0 - Uniform();
+  double u2 = Uniform();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  spare_ = r * std::sin(theta);
+  has_spare_ = true;
+  return r * std::cos(theta);
+}
+
+double SplitRng::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+void SplitRng::FillGaussian(float* out, size_t n, double stddev) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<float>(stddev * Gaussian());
+  }
+}
+
+std::vector<size_t> SplitRng::Permutation(size_t n) {
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  for (size_t i = n; i > 1; --i) {
+    size_t j = UniformInt(i);
+    std::swap(idx[i - 1], idx[j]);
+  }
+  return idx;
+}
+
+std::vector<size_t> SplitRng::SampleWithoutReplacement(size_t n, size_t k) {
+  DPBR_CHECK_LE(k, n);
+  // Partial Fisher-Yates over an index array; O(n) memory, O(n + k) time.
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + UniformInt(n - i);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace dpbr

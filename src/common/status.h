@@ -1,0 +1,148 @@
+// Status / Result error-handling primitives (RocksDB/Arrow idiom).
+//
+// Library entry points that can fail due to user input return Status or
+// Result<T> instead of throwing. Internal invariants use DPBR_CHECK from
+// logging.h.
+
+#ifndef DPBR_COMMON_STATUS_H_
+#define DPBR_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace dpbr {
+
+/// Machine-readable error category carried by Status.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kFailedPrecondition = 4,
+  kInternal = 5,
+  kUnimplemented = 6,
+};
+
+/// Returns the canonical lowercase name of a status code
+/// ("ok", "invalid_argument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Value-semantic success/error indicator.
+///
+/// Cheap to copy in the success case (no allocation); error states carry a
+/// message. Use the static factory functions to construct errors:
+///
+///   Status Validate(int n) {
+///     if (n <= 0) return Status::InvalidArgument("n must be positive");
+///     return Status::OK();
+///   }
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code_name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Modeled after
+/// arrow::Result / absl::StatusOr.
+///
+///   Result<Tensor> t = Tensor::FromShape({2, 3});
+///   if (!t.ok()) return t.status();
+///   Use(t.value());
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  /// Implicit construction from a non-OK status (failure). Constructing a
+  /// Result from an OK status is a programming error and is converted to
+  /// an Internal error to keep the invariant "ok() implies has value".
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok(). Checked in debug via the std::optional contract.
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  /// Returns the value or `fallback` when in the error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+}  // namespace dpbr
+
+/// Propagates a non-OK Status from the current function.
+#define DPBR_RETURN_NOT_OK(expr)                \
+  do {                                          \
+    ::dpbr::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+/// Assigns the value of a Result<T> expression to `lhs`, or propagates the
+/// error. Usage: DPBR_ASSIGN_OR_RETURN(auto x, MakeX());
+#define DPBR_ASSIGN_OR_RETURN(lhs, rexpr)             \
+  DPBR_ASSIGN_OR_RETURN_IMPL_(                        \
+      DPBR_STATUS_CONCAT_(_dpbr_result_, __LINE__), lhs, rexpr)
+
+#define DPBR_STATUS_CONCAT_INNER_(a, b) a##b
+#define DPBR_STATUS_CONCAT_(a, b) DPBR_STATUS_CONCAT_INNER_(a, b)
+#define DPBR_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#endif  // DPBR_COMMON_STATUS_H_

@@ -1,0 +1,39 @@
+// Aligned-column table output used by bench harnesses to print
+// paper-shaped tables and figure series.
+
+#ifndef DPBR_COMMON_TABLE_PRINTER_H_
+#define DPBR_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dpbr {
+
+/// Collects rows of string cells and renders them with per-column widths.
+///
+///   TablePrinter t({"dataset", "eps", "acc"});
+///   t.AddRow({"synth_mnist", "2", "0.94"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 3);
+
+  /// Renders a markdown-ish aligned table.
+  void Print(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dpbr
+
+#endif  // DPBR_COMMON_TABLE_PRINTER_H_

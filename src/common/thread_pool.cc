@@ -1,0 +1,109 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dpbr {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  DPBR_CHECK_GE(num_threads, 1u);
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DPBR_CHECK(!stop_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool(std::max<size_t>(
+      1, std::min<size_t>(16, std::thread::hardware_concurrency())));
+  return pool;
+}
+
+void ParallelFor(ThreadPool& pool, size_t begin, size_t end,
+                 const std::function<void(size_t)>& body) {
+  if (end <= begin) return;
+  size_t n = end - begin;
+  if (n == 1 || pool.num_threads() == 1) {
+    for (size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  // Static chunking: one contiguous block per thread keeps task overhead
+  // negligible relative to per-worker NN compute.
+  size_t num_chunks = std::min(n, pool.num_threads());
+  size_t chunk = (n + num_chunks - 1) / num_chunks;
+  std::atomic<size_t> pending{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t launched = 0;
+  for (size_t c = 0; c < num_chunks; ++c) {
+    size_t lo = begin + c * chunk;
+    if (lo >= end) break;
+    size_t hi = std::min(end, lo + chunk);
+    ++launched;
+    pending.fetch_add(1);
+    pool.Submit([lo, hi, &body, &pending, &done_mu, &done_cv] {
+      for (size_t i = lo; i < hi; ++i) body(i);
+      if (pending.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(done_mu);
+        done_cv.notify_all();
+      }
+    });
+  }
+  (void)launched;
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&pending] { return pending.load() == 0; });
+}
+
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t)>& body) {
+  ParallelFor(ThreadPool::Global(), begin, end, body);
+}
+
+}  // namespace dpbr

@@ -1,0 +1,65 @@
+// Fixed-size thread pool and a blocking ParallelFor helper.
+//
+// The FL trainer runs each worker's local step through ParallelFor; all
+// randomness inside the loop body must come from per-index SplitRng streams
+// so scheduling does not affect results.
+
+#ifndef DPBR_COMMON_THREAD_POOL_H_
+#define DPBR_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dpbr {
+
+/// A fixed set of worker threads consuming a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Process-wide pool sized to the hardware concurrency (lazily created).
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;   // signals workers: task available/stop
+  std::condition_variable cv_idle_;   // signals Wait(): all work drained
+  size_t in_flight_ = 0;              // queued + currently running tasks
+  bool stop_ = false;
+};
+
+/// Runs body(i) for i in [begin, end) across the pool and blocks until all
+/// iterations complete. Falls back to inline execution for tiny ranges.
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t)>& body);
+
+/// Same as ParallelFor but on an explicit pool.
+void ParallelFor(ThreadPool& pool, size_t begin, size_t end,
+                 const std::function<void(size_t)>& body);
+
+}  // namespace dpbr
+
+#endif  // DPBR_COMMON_THREAD_POOL_H_

@@ -1,0 +1,78 @@
+#include "core/dpbr_aggregator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace dpbr {
+namespace core {
+
+DpbrAggregator::DpbrAggregator(const ProtocolOptions& options)
+    : options_(options), first_stage_(options) {}
+
+Result<std::vector<float>> DpbrAggregator::Aggregate(
+    const std::vector<std::vector<float>>& uploads,
+    const agg::AggregationContext& ctx) {
+  DPBR_RETURN_NOT_OK(agg::ValidateUploads(uploads, ctx));
+  size_t n = uploads.size();
+  diag_ = DpbrRoundDiagnostics{};
+
+  // --- Stage 1 (Algorithm 2): statistical filtering. Rejected uploads are
+  // zeroed, exactly as FirstAGG outputs g ← 0. The stage requires a known
+  // DP noise level; without DP there is no reference distribution.
+  std::vector<std::vector<float>> filtered = uploads;
+  diag_.first_stage_passed.assign(n, true);
+  if (options_.enable_first_stage) {
+    if (ctx.sigma_upload <= 0.0) {
+      return Status::FailedPrecondition(
+          "first-stage aggregation requires DP noise (sigma_upload > 0); "
+          "disable the stage explicitly for non-DP runs");
+    }
+    std::vector<FirstStageVerdict> verdicts =
+        first_stage_.Apply(&filtered, ctx.sigma_upload, &diag_.first_stage);
+    for (size_t i = 0; i < n; ++i) {
+      diag_.first_stage_passed[i] = verdicts[i].accepted();
+    }
+  }
+
+  // --- Stage 2 (Algorithm 3): inner-product selection with cumulative
+  // scores. Falls back to "select everything that passed stage 1" when
+  // disabled (first-stage-only ablation).
+  std::vector<size_t> selected;
+  if (options_.enable_second_stage) {
+    if (ctx.server_gradient == nullptr) {
+      return Status::FailedPrecondition(
+          "second-stage aggregation needs ctx.server_gradient");
+    }
+    DPBR_ASSIGN_OR_RETURN(
+        selected, second_stage_.SelectWorkers(filtered, *ctx.server_gradient,
+                                              ctx.gamma));
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      if (diag_.first_stage_passed[i]) selected.push_back(i);
+    }
+  }
+  diag_.selected = selected;
+
+  // Algorithm 1 line 14: w ← w − η·(1/n)·Σ_{g ∈ G_s} g, or the
+  // η·n/|G_s|-reparameterized variant (see UpdateScale).
+  std::vector<float> out(ctx.dim, 0.0f);
+  for (size_t idx : selected) {
+    ops::Axpy(1.0f, filtered[idx].data(), out.data(), ctx.dim);
+  }
+  double denom = options_.update_scale == UpdateScale::kOverTotal
+                     ? static_cast<double>(n)
+                     : static_cast<double>(std::max<size_t>(selected.size(),
+                                                            1));
+  ops::Scale(static_cast<float>(1.0 / denom), out.data(), ctx.dim);
+  return out;
+}
+
+void DpbrAggregator::Reset() {
+  second_stage_.Reset();
+  diag_ = DpbrRoundDiagnostics{};
+}
+
+}  // namespace core
+}  // namespace dpbr

@@ -1,0 +1,75 @@
+// First-stage aggregation (paper Algorithm 2, FirstAGG).
+//
+// Honest uploads under the dpbr DP protocol are statistically dominated by
+// Gaussian noise: g = g̃ + z with ‖z‖ ≫ ‖g̃‖ and z ~ N(0, σ_up²·I) per
+// coordinate. The filter therefore rejects (zeroes) any upload that fails
+//   (a) the norm test  : ‖g‖² ∈ σ_up²·(d ± 3√(2d))   (chi-squared CLT)
+//   (b) the KS test    : coordinates vs N(0, σ_up²) at significance 0.05.
+// Theorem 2: surviving uploads are confined per sorted coordinate to the
+// KS envelope, which EnvelopeInterval exposes.
+
+#ifndef DPBR_CORE_FIRST_STAGE_H_
+#define DPBR_CORE_FIRST_STAGE_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/protocol_options.h"
+
+namespace dpbr {
+namespace core {
+
+/// Outcome of testing one upload.
+struct FirstStageVerdict {
+  bool passed_norm = false;
+  bool passed_ks = false;
+  double norm = 0.0;        ///< observed ‖g‖
+  double ks_p_value = 0.0;  ///< KS p-value against N(0, σ_up²)
+  bool accepted() const { return passed_norm && passed_ks; }
+};
+
+/// Per-round aggregate counters.
+struct FirstStageReport {
+  size_t total = 0;
+  size_t rejected_norm = 0;
+  size_t rejected_ks = 0;
+  size_t accepted = 0;
+};
+
+class FirstStageFilter {
+ public:
+  explicit FirstStageFilter(const ProtocolOptions& options);
+
+  /// The norm-test acceptance window on ‖g‖² for dimension d.
+  std::pair<double, double> NormWindow(size_t d, double sigma_upload) const;
+
+  /// Tests a single upload without modifying it.
+  FirstStageVerdict Test(const std::vector<float>& upload,
+                         double sigma_upload) const;
+
+  /// Algorithm 2 applied to every upload: rejected uploads are zeroed in
+  /// place. Returns per-upload verdicts; `report` (optional) receives the
+  /// aggregate counters.
+  std::vector<FirstStageVerdict> Apply(
+      std::vector<std::vector<float>>* uploads, double sigma_upload,
+      FirstStageReport* report = nullptr) const;
+
+  /// Theorem 2: the closed interval the k-th smallest coordinate (k in
+  /// [1, d]) must occupy to pass the KS test with statistic bound d_ks.
+  /// Unbounded ends are returned as ±infinity.
+  static std::pair<double, double> EnvelopeInterval(size_t k, size_t d,
+                                                    double d_ks,
+                                                    double sigma_upload);
+
+  /// The KS statistic bound implied by (d, significance): the critical
+  /// value D such that p-value(D) == significance.
+  double KsStatisticBound(size_t d) const;
+
+ private:
+  ProtocolOptions options_;
+};
+
+}  // namespace core
+}  // namespace dpbr
+
+#endif  // DPBR_CORE_FIRST_STAGE_H_

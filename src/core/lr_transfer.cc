@@ -1,0 +1,36 @@
+#include "core/lr_transfer.h"
+
+namespace dpbr {
+namespace core {
+
+Result<LrTransferRule> LrTransferRule::Create(double base_lr,
+                                              double base_sigma) {
+  if (base_lr <= 0.0) return Status::InvalidArgument("base_lr must be > 0");
+  if (base_sigma <= 0.0) {
+    return Status::InvalidArgument("base_sigma must be > 0");
+  }
+  return LrTransferRule(base_lr, base_sigma);
+}
+
+Result<LrTransferRule> LrTransferRule::FromBaseEpsilon(double base_lr,
+                                                       double base_epsilon,
+                                                       dp::PrivacySpec spec) {
+  if (base_epsilon <= 0.0) {
+    return Status::InvalidArgument("base_epsilon must be > 0");
+  }
+  spec.epsilon = base_epsilon;
+  DPBR_ASSIGN_OR_RETURN(dp::PrivacyParams params, dp::CalibratePrivacy(spec));
+  return Create(base_lr, params.sigma);
+}
+
+double LrTransferRule::LrFor(double sigma) const {
+  if (sigma <= 0.0) return base_lr_;
+  return base_lr_ * base_sigma_ / sigma;
+}
+
+double LrTransferRule::LrFor(const dp::PrivacyParams& params) const {
+  return params.dp_enabled ? LrFor(params.sigma) : base_lr_;
+}
+
+}  // namespace core
+}  // namespace dpbr

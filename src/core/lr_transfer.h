@@ -1,0 +1,51 @@
+// Learning-rate transfer rule (paper Theorem 1 / CLAIM 6).
+//
+// With normalized gradients the optimal learning rate scales as 1/σ
+// (Equation 4), so tuning the base rate η_b at ONE privacy level (noise
+// σ_b) determines the rate η = η_b·σ_b/σ for every other level — reducing
+// the (η, C, ε) grid of vanilla DP-SGD to a single 1-d sweep.
+
+#ifndef DPBR_CORE_LR_TRANSFER_H_
+#define DPBR_CORE_LR_TRANSFER_H_
+
+#include "common/status.h"
+#include "dp/privacy_params.h"
+
+namespace dpbr {
+namespace core {
+
+/// Immutable transfer rule anchored at (base_lr, base_sigma).
+class LrTransferRule {
+ public:
+  /// Builds a rule from a tuned base rate and the noise level it was
+  /// tuned at.
+  static Result<LrTransferRule> Create(double base_lr, double base_sigma);
+
+  /// Convenience: calibrates σ_b for `base_epsilon` under `spec`'s data
+  /// configuration (spec.epsilon is ignored) and anchors the rule there.
+  static Result<LrTransferRule> FromBaseEpsilon(double base_lr,
+                                                double base_epsilon,
+                                                dp::PrivacySpec spec);
+
+  /// η = η_b·σ_b/σ.
+  double LrFor(double sigma) const;
+
+  /// η for the privacy level that `params` encodes (non-DP params return
+  /// the base rate).
+  double LrFor(const dp::PrivacyParams& params) const;
+
+  double base_lr() const { return base_lr_; }
+  double base_sigma() const { return base_sigma_; }
+
+ private:
+  LrTransferRule(double base_lr, double base_sigma)
+      : base_lr_(base_lr), base_sigma_(base_sigma) {}
+
+  double base_lr_;
+  double base_sigma_;
+};
+
+}  // namespace core
+}  // namespace dpbr
+
+#endif  // DPBR_CORE_LR_TRANSFER_H_

@@ -1,0 +1,71 @@
+#include "core/second_stage.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "aggregators/aggregator.h"
+#include "tensor/ops.h"
+
+namespace dpbr {
+namespace core {
+
+Result<std::vector<size_t>> SecondStageAggregator::SelectWorkers(
+    const std::vector<std::vector<float>>& uploads,
+    const std::vector<float>& server_gradient, double gamma) {
+  size_t n = uploads.size();
+  if (n == 0) return Status::InvalidArgument("no uploads");
+  if (server_gradient.empty()) {
+    return Status::InvalidArgument("empty server gradient");
+  }
+  for (const auto& u : uploads) {
+    if (u.size() != server_gradient.size()) {
+      return Status::InvalidArgument("upload/server gradient size mismatch");
+    }
+  }
+  if (scores_.empty()) {
+    scores_.assign(n, 0.0);
+  } else if (scores_.size() != n) {
+    return Status::FailedPrecondition(
+        "worker count changed mid-training; call Reset() first");
+  }
+
+  // Lines 5-8: S_tmp[i] = ⟨g_i, g_s⟩.
+  last_scores_.assign(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    last_scores_[i] = ops::Dot(uploads[i], server_gradient);
+  }
+
+  // Line 9: μ̂ = mean of the top ⌈γn⌉ round scores.
+  size_t k = agg::TrustedCount(gamma, n);
+  std::vector<double> sorted = last_scores_;
+  std::nth_element(sorted.begin(), sorted.begin() + (k - 1), sorted.end(),
+                   std::greater<double>());
+  double mu_hat = 0.0;
+  // nth_element leaves the top-k block in the first k slots (unordered).
+  for (size_t i = 0; i < k; ++i) mu_hat += sorted[i];
+  mu_hat /= static_cast<double>(k);
+
+  // Lines 10-13: suppress below-threshold scores, accumulate into S.
+  for (size_t i = 0; i < n; ++i) {
+    double s = last_scores_[i] < mu_hat ? 0.0 : last_scores_[i];
+    scores_[i] += s;
+  }
+
+  // Line 14: pick the top ⌈γn⌉ *cumulative* scores (ties: lower index).
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    return scores_[a] > scores_[b];
+  });
+  order.resize(k);
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+void SecondStageAggregator::Reset() {
+  scores_.clear();
+  last_scores_.clear();
+}
+
+}  // namespace core
+}  // namespace dpbr

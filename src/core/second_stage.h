@@ -1,0 +1,52 @@
+// Second-stage aggregation (paper Algorithm 3 lines 4-14).
+//
+// The server scores each upload by its inner product with the gradient of
+// its tiny auxiliary dataset (E⟨∇F, g̃⟩ > 0 for benign uploads by Eq. 7,
+// ≤ 0 for the considered attacks), thresholds at the mean of the top ⌈γn⌉
+// scores, accumulates surviving scores in a persistent per-worker list S,
+// and selects the uploads with the top ⌈γn⌉ cumulative scores. Selection
+// weights are binary by design (paper §4.5 "Novelties").
+
+#ifndef DPBR_CORE_SECOND_STAGE_H_
+#define DPBR_CORE_SECOND_STAGE_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace dpbr {
+namespace core {
+
+class SecondStageAggregator {
+ public:
+  SecondStageAggregator() = default;
+
+  /// Runs one round of Algorithm 3 lines 5-14 and returns the indices of
+  /// the selected uploads G_s (size ⌈γn⌉). The internal score list S is
+  /// sized on first use and persists across rounds; the worker count must
+  /// stay constant between Reset() calls.
+  Result<std::vector<size_t>> SelectWorkers(
+      const std::vector<std::vector<float>>& uploads,
+      const std::vector<float>& server_gradient, double gamma);
+
+  /// Cumulative score list S (empty before the first round).
+  const std::vector<double>& cumulative_scores() const { return scores_; }
+
+  /// Per-round scores ⟨g_i, g_s⟩ from the last SelectWorkers call
+  /// (pre-thresholding), for diagnostics.
+  const std::vector<double>& last_round_scores() const {
+    return last_scores_;
+  }
+
+  /// Clears all cross-round state.
+  void Reset();
+
+ private:
+  std::vector<double> scores_;       // S
+  std::vector<double> last_scores_;  // S_tmp before thresholding
+};
+
+}  // namespace core
+}  // namespace dpbr
+
+#endif  // DPBR_CORE_SECOND_STAGE_H_

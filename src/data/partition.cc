@@ -1,0 +1,133 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dpbr {
+namespace data {
+
+Result<std::vector<std::vector<size_t>>> PartitionIid(size_t n_examples,
+                                                      size_t n_workers,
+                                                      SplitRng* rng) {
+  if (n_workers == 0) return Status::InvalidArgument("n_workers must be > 0");
+  if (n_examples < n_workers) {
+    return Status::InvalidArgument("fewer examples than workers");
+  }
+  std::vector<size_t> perm = rng->Permutation(n_examples);
+  std::vector<std::vector<size_t>> shards(n_workers);
+  for (size_t i = 0; i < n_examples; ++i) {
+    shards[i % n_workers].push_back(perm[i]);
+  }
+  return shards;
+}
+
+Result<std::vector<std::vector<size_t>>> PartitionNonIid(
+    const std::vector<int>& labels, size_t num_classes, size_t n_workers,
+    SplitRng* rng) {
+  if (n_workers == 0) return Status::InvalidArgument("n_workers must be > 0");
+  if (labels.size() < n_workers) {
+    return Status::InvalidArgument("fewer examples than workers");
+  }
+  // Line 1: partition D by class into G_1..G_H.
+  std::vector<std::vector<size_t>> by_class(num_classes);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    DPBR_CHECK_GE(labels[i], 0);
+    DPBR_CHECK_LT(static_cast<size_t>(labels[i]), num_classes);
+    by_class[static_cast<size_t>(labels[i])].push_back(i);
+  }
+
+  // Lines 3-7: for each class draw uniform RVs, normalize, split G_k by
+  // the resulting fractions and append each part to T_i.
+  std::vector<std::vector<size_t>> t(n_workers);
+  for (size_t k = 0; k < num_classes; ++k) {
+    std::vector<double> v(n_workers);
+    double sum = 0.0;
+    for (auto& x : v) {
+      x = rng->Uniform();
+      sum += x;
+    }
+    DPBR_CHECK_GT(sum, 0.0);
+    // Cumulative boundaries over the class's examples.
+    const std::vector<size_t>& g = by_class[k];
+    double acc = 0.0;
+    size_t lo = 0;
+    for (size_t i = 0; i < n_workers; ++i) {
+      acc += v[i] / sum;
+      size_t hi = (i + 1 == n_workers)
+                      ? g.size()
+                      : static_cast<size_t>(
+                            std::llround(acc * static_cast<double>(g.size())));
+      hi = std::min(hi, g.size());
+      hi = std::max(hi, lo);
+      t[i].insert(t[i].end(), g.begin() + lo, g.begin() + hi);
+      lo = hi;
+    }
+  }
+
+  // Line 8: concatenate all T_i into L.
+  std::vector<size_t> l;
+  l.reserve(labels.size());
+  for (const auto& ti : t) l.insert(l.end(), ti.begin(), ti.end());
+
+  // Lines 9-12: chunk L into contiguous blocks of size s = ceil(|L|/n).
+  size_t s = (l.size() + n_workers - 1) / n_workers;
+  std::vector<std::vector<size_t>> shards(n_workers);
+  for (size_t i = 0; i < n_workers; ++i) {
+    size_t lo = i * s;
+    size_t hi = std::min(l.size(), lo + s);
+    if (lo < hi) shards[i].assign(l.begin() + lo, l.begin() + hi);
+  }
+  // Guard against an empty tail shard (possible when |L| mod s is tiny):
+  // donate one example from the largest shard.
+  for (auto& shard : shards) {
+    if (!shard.empty()) continue;
+    auto largest =
+        std::max_element(shards.begin(), shards.end(),
+                         [](const auto& a, const auto& b) {
+                           return a.size() < b.size();
+                         });
+    DPBR_CHECK_GT(largest->size(), 1u);
+    shard.push_back(largest->back());
+    largest->pop_back();
+  }
+  return shards;
+}
+
+Result<std::vector<size_t>> SampleAuxiliaryIndices(
+    const std::vector<int>& labels, size_t num_classes, size_t per_class,
+    SplitRng* rng) {
+  if (per_class == 0) return Status::InvalidArgument("per_class must be > 0");
+  std::vector<std::vector<size_t>> by_class(num_classes);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] < 0 || static_cast<size_t>(labels[i]) >= num_classes) {
+      return Status::InvalidArgument("label out of range");
+    }
+    by_class[static_cast<size_t>(labels[i])].push_back(i);
+  }
+  std::vector<size_t> aux;
+  for (size_t c = 0; c < num_classes; ++c) {
+    if (by_class[c].size() < per_class) {
+      return Status::FailedPrecondition(
+          "class has fewer examples than requested auxiliary count");
+    }
+    std::vector<size_t> picks =
+        rng->SampleWithoutReplacement(by_class[c].size(), per_class);
+    for (size_t p : picks) aux.push_back(by_class[c][p]);
+  }
+  return aux;
+}
+
+std::vector<DatasetView> MakeShards(
+    const Dataset* base, const std::vector<std::vector<size_t>>& partition) {
+  std::vector<DatasetView> shards;
+  shards.reserve(partition.size());
+  for (const auto& idx : partition) {
+    shards.emplace_back(base, idx);
+  }
+  return shards;
+}
+
+}  // namespace data
+}  // namespace dpbr

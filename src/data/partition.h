@@ -1,0 +1,46 @@
+// Federated data partitioning.
+//
+// The i.i.d. partitioner deals a shuffled dataset evenly to n workers.
+// The non-i.i.d. partitioner implements the paper's Algorithm 4
+// (GetNonIID) verbatim: per-class random proportional splits, worker-wise
+// concatenation, then re-chunking into contiguous equal blocks.
+
+#ifndef DPBR_DATA_PARTITION_H_
+#define DPBR_DATA_PARTITION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace dpbr {
+namespace data {
+
+/// Shuffles [0, n_examples) and deals indices to `n_workers` round-robin
+/// (shard sizes differ by at most one).
+Result<std::vector<std::vector<size_t>>> PartitionIid(size_t n_examples,
+                                                      size_t n_workers,
+                                                      SplitRng* rng);
+
+/// Paper Algorithm 4. Returns one index list per worker.
+Result<std::vector<std::vector<size_t>>> PartitionNonIid(
+    const std::vector<int>& labels, size_t num_classes, size_t n_workers,
+    SplitRng* rng);
+
+/// Draws `per_class` examples of every class (server auxiliary data,
+/// default 2 per class in the paper). Errors when a class has too few
+/// examples.
+Result<std::vector<size_t>> SampleAuxiliaryIndices(
+    const std::vector<int>& labels, size_t num_classes, size_t per_class,
+    SplitRng* rng);
+
+/// Builds worker shard views over `base` from an index partition.
+std::vector<DatasetView> MakeShards(
+    const Dataset* base, const std::vector<std::vector<size_t>>& partition);
+
+}  // namespace data
+}  // namespace dpbr
+
+#endif  // DPBR_DATA_PARTITION_H_

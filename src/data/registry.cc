@@ -1,0 +1,135 @@
+#include "data/registry.h"
+
+#include "common/logging.h"
+
+namespace dpbr {
+namespace data {
+namespace {
+
+// Difficulty knobs were tuned once so that DP federated reference accuracy
+// reproduces the paper's ordering: MNIST ≈ .96 > USPS ≈ .87 > Fashion ≈
+// .80 > Colorectal ≈ .74 at ε = 2 (paper Table 15), with Colorectal's
+// small size yielding visibly larger variance.
+std::vector<BenchmarkInfo> BuildRegistry() {
+  std::vector<BenchmarkInfo> r;
+
+  {
+    BenchmarkInfo b;
+    b.name = "synth_mnist";
+    b.paper_counterpart = "MNIST (LeCun et al.)";
+    b.spec.num_classes = 10;
+    b.spec.feature_dim = 64;
+    b.spec.train_size = 20000;
+    b.spec.val_size = 500;
+    b.spec.test_size = 1000;
+    b.spec.class_separation = 3.5;
+    b.spec.noise_std = 1.0;
+    b.spec.label_noise = 0.02;
+    b.spec.data_space_seed = 11;
+    b.default_honest_workers = 20;
+    b.default_epochs = 8;
+    r.push_back(b);
+  }
+  {
+    BenchmarkInfo b;
+    b.name = "synth_fashion";
+    b.paper_counterpart = "Fashion-MNIST (Xiao et al.)";
+    b.spec.num_classes = 10;
+    b.spec.feature_dim = 64;
+    b.spec.train_size = 20000;
+    b.spec.val_size = 500;
+    b.spec.test_size = 1000;
+    b.spec.class_separation = 2.0;
+    b.spec.noise_std = 1.0;
+    b.spec.label_noise = 0.10;
+    b.spec.data_space_seed = 12;
+    b.default_honest_workers = 20;
+    b.default_epochs = 8;
+    r.push_back(b);
+  }
+  {
+    BenchmarkInfo b;
+    b.name = "synth_usps";
+    b.paper_counterpart = "USPS (Hull)";
+    b.spec.num_classes = 10;
+    b.spec.feature_dim = 64;
+    b.spec.train_size = 10000;
+    b.spec.val_size = 300;
+    b.spec.test_size = 700;
+    b.spec.class_separation = 2.8;
+    b.spec.noise_std = 1.0;
+    b.spec.label_noise = 0.05;
+    b.spec.data_space_seed = 13;
+    b.default_honest_workers = 10;
+    b.default_epochs = 10;
+    r.push_back(b);
+  }
+  {
+    BenchmarkInfo b;
+    b.name = "synth_colorectal";
+    b.paper_counterpart = "Colorectal histology (Kather et al.)";
+    b.spec.num_classes = 8;
+    b.spec.feature_dim = 64;
+    b.spec.image_h = 8;
+    b.spec.image_w = 8;
+    b.spec.train_size = 8000;
+    b.spec.val_size = 150;
+    b.spec.test_size = 300;
+    b.spec.class_separation = 2.2;
+    b.spec.noise_std = 1.0;
+    b.spec.label_noise = 0.12;
+    b.spec.data_space_seed = 14;
+    b.default_honest_workers = 10;
+    b.default_epochs = 10;
+    r.push_back(b);
+  }
+  {
+    BenchmarkInfo b;
+    b.name = "synth_kmnist";
+    b.paper_counterpart = "KMNIST (Clanuwat et al.) — OOD auxiliary source";
+    b.spec.num_classes = 10;
+    b.spec.feature_dim = 64;
+    b.spec.train_size = 20000;
+    b.spec.val_size = 500;
+    b.spec.test_size = 1000;
+    b.spec.class_separation = 3.5;
+    b.spec.noise_std = 1.0;
+    b.spec.label_noise = 0.02;
+    // Different data-space seed: a disjoint class structure from
+    // synth_mnist, giving the "different data space X'" of Table 17.
+    b.spec.data_space_seed = 997;
+    b.default_honest_workers = 20;
+    b.default_epochs = 8;
+    r.push_back(b);
+  }
+  return r;
+}
+
+const std::vector<BenchmarkInfo>& Registry() {
+  static const std::vector<BenchmarkInfo>* r =
+      new std::vector<BenchmarkInfo>(BuildRegistry());
+  return *r;
+}
+
+}  // namespace
+
+std::vector<std::string> BenchmarkNames() {
+  std::vector<std::string> names;
+  for (const auto& b : Registry()) names.push_back(b.name);
+  return names;
+}
+
+Result<BenchmarkInfo> GetBenchmark(const std::string& name) {
+  for (const auto& b : Registry()) {
+    if (b.name == name) return b;
+  }
+  return Status::NotFound("unknown benchmark: " + name);
+}
+
+Result<DatasetBundle> LoadBenchmark(const std::string& name, uint64_t seed) {
+  DPBR_ASSIGN_OR_RETURN(BenchmarkInfo info, GetBenchmark(name));
+  return GenerateSynthetic(info.spec, seed);
+}
+
+}  // namespace data
+}  // namespace dpbr

@@ -1,0 +1,67 @@
+#include "dp/privacy_params.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "dp/rdp_accountant.h"
+
+namespace dpbr {
+namespace dp {
+
+std::string PrivacyParams::ToString() const {
+  char buf[256];
+  if (!dp_enabled) return "PrivacyParams{non-DP}";
+  std::snprintf(buf, sizeof(buf),
+                "PrivacyParams{eps=%.4g delta=%.3g q=%.4g T=%d "
+                "sigma_mult=%.4g sigma=%.4g sigma_up=%.4g}",
+                epsilon, delta, sampling_rate, steps, noise_multiplier, sigma,
+                sigma_upload);
+  return buf;
+}
+
+Result<PrivacyParams> CalibratePrivacy(const PrivacySpec& spec) {
+  if (spec.dataset_size <= 0) {
+    return Status::InvalidArgument("dataset_size must be positive");
+  }
+  if (spec.batch_size <= 0 || spec.batch_size > spec.dataset_size) {
+    return Status::InvalidArgument(
+        "batch_size must lie in [1, dataset_size]");
+  }
+  if (spec.epochs <= 0) {
+    return Status::InvalidArgument("epochs must be positive");
+  }
+
+  PrivacyParams p;
+  p.sampling_rate =
+      static_cast<double>(spec.batch_size) / spec.dataset_size;
+  p.steps = static_cast<int>(
+      std::ceil(static_cast<double>(spec.epochs) * spec.dataset_size /
+                spec.batch_size));
+
+  if (spec.epsilon <= 0.0) {
+    // Non-DP reference mode (Tables 15-16): no noise, infinite ε.
+    p.dp_enabled = false;
+    p.epsilon = std::numeric_limits<double>::infinity();
+    p.delta = 0.0;
+    return p;
+  }
+
+  p.epsilon = spec.epsilon;
+  p.delta = spec.delta > 0.0
+                ? spec.delta
+                : std::pow(static_cast<double>(spec.dataset_size), -1.1);
+  if (p.delta >= 1.0) {
+    return Status::InvalidArgument("derived delta >= 1; dataset too small");
+  }
+
+  DPBR_ASSIGN_OR_RETURN(
+      p.noise_multiplier,
+      NoiseMultiplierFor(p.sampling_rate, p.steps, p.epsilon, p.delta));
+  p.sigma = kNormalizedSumSensitivity * p.noise_multiplier;
+  p.sigma_upload = p.sigma / spec.batch_size;
+  return p;
+}
+
+}  // namespace dp
+}  // namespace dpbr

@@ -1,0 +1,53 @@
+// Derivation of all privacy-related constants for one worker's training
+// run, mirroring the paper's experimental setup:
+//   q  = bc / |D|                      (Poisson-style sampling rate)
+//   T  = epochs * |D| / bc             (iterations)
+//   δ  = 1 / |D|^1.1                   (paper §6.1)
+//   σ_mult = NoiseMultiplierFor(q, T, ε, δ)   (sensitivity-1 units)
+//   σ  = Δ · σ_mult with Δ = 2         (ℓ2-sensitivity of Σ_j φ_j/‖φ_j‖)
+//   σ_up = σ / bc                      (per-coordinate std of the upload)
+
+#ifndef DPBR_DP_PRIVACY_PARAMS_H_
+#define DPBR_DP_PRIVACY_PARAMS_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace dpbr {
+namespace dp {
+
+/// ℓ2-sensitivity of the normalized-gradient sum under add/remove-one
+/// (each summand has unit norm, so replacing one changes the sum by ≤ 2).
+inline constexpr double kNormalizedSumSensitivity = 2.0;
+
+/// Inputs to privacy calibration.
+struct PrivacySpec {
+  double epsilon = 1.0;   ///< target ε; <= 0 means "no DP" (σ = 0)
+  int dataset_size = 0;   ///< |D| per worker
+  int batch_size = 16;    ///< bc
+  int epochs = 8;         ///< training epochs (paper uses 8 or 10)
+  double delta = -1.0;    ///< target δ; < 0 derives 1/|D|^1.1
+};
+
+/// All derived constants.
+struct PrivacyParams {
+  double epsilon = 0.0;
+  double delta = 0.0;
+  double sampling_rate = 0.0;     ///< q
+  int steps = 0;                  ///< T
+  double noise_multiplier = 0.0;  ///< σ_mult (sensitivity-1)
+  double sigma = 0.0;             ///< σ added to the normalized sum
+  double sigma_upload = 0.0;      ///< σ/bc: per-coordinate upload std
+  bool dp_enabled = true;
+
+  std::string ToString() const;
+};
+
+/// Calibrates the noise for `spec`. Validates every field.
+Result<PrivacyParams> CalibratePrivacy(const PrivacySpec& spec);
+
+}  // namespace dp
+}  // namespace dpbr
+
+#endif  // DPBR_DP_PRIVACY_PARAMS_H_

@@ -1,0 +1,60 @@
+// Byzantine attack interface (implementations live in src/attacks).
+//
+// The threat model follows the paper §3.1: the attacker is *omniscient* —
+// it sees every honest upload, the global model, the DP noise level and
+// the aggregation rule — and controls all Byzantine workers jointly.
+
+#ifndef DPBR_FL_ATTACK_INTERFACE_H_
+#define DPBR_FL_ATTACK_INTERFACE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dpbr {
+namespace fl {
+
+/// Everything an omniscient Byzantine attacker observes in one round.
+struct AttackContext {
+  /// Uploads produced by all honest workers this round.
+  const std::vector<std::vector<float>>* honest_uploads = nullptr;
+  /// For data-poisoning attacks: uploads the Byzantine workers would send
+  /// if they honestly ran the DP protocol on their *poisoned* shards.
+  /// Filled by the trainer only when wants_poisoned_uploads() is true.
+  const std::vector<std::vector<float>>* poisoned_uploads = nullptr;
+  /// Current global model parameters.
+  const std::vector<float>* global_params = nullptr;
+  size_t dim = 0;
+  /// Per-coordinate std of DP noise in honest uploads (σ/bc).
+  double sigma_upload = 0.0;
+  int round = 0;
+  int total_rounds = 0;
+  /// Attacker-owned randomness stream for this round.
+  SplitRng* rng = nullptr;
+};
+
+/// A coordinated Byzantine strategy producing all malicious uploads.
+class Attack {
+ public:
+  virtual ~Attack() = default;
+
+  virtual std::string name() const = 0;
+
+  /// True when the strategy needs the Byzantine workers' honest-protocol
+  /// uploads over poisoned data (Label-flipping). The trainer then runs
+  /// the DP protocol on flipped shards and provides the results.
+  virtual bool wants_poisoned_uploads() const { return false; }
+
+  /// Produces `num_byzantine` malicious uploads for this round.
+  virtual std::vector<std::vector<float>> Forge(const AttackContext& ctx,
+                                                size_t num_byzantine) = 0;
+};
+
+using AttackPtr = std::unique_ptr<Attack>;
+
+}  // namespace fl
+}  // namespace dpbr
+
+#endif  // DPBR_FL_ATTACK_INTERFACE_H_

@@ -1,0 +1,19 @@
+#include "fl/metrics.h"
+
+#include <cstdio>
+
+namespace dpbr {
+namespace fl {
+
+std::string TrainingHistory::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "final_acc=%.3f best_acc=%.3f rounds=%d eps=%.4g sigma=%.3g "
+                "lr=%.4g",
+                final_accuracy, best_accuracy, total_rounds, epsilon, sigma,
+                learning_rate);
+  return buf;
+}
+
+}  // namespace fl
+}  // namespace dpbr

@@ -1,0 +1,36 @@
+// Training history collected by the federated trainer.
+
+#ifndef DPBR_FL_METRICS_H_
+#define DPBR_FL_METRICS_H_
+
+#include <string>
+#include <vector>
+
+namespace dpbr {
+namespace fl {
+
+/// One evaluation point.
+struct EvalPoint {
+  int round = 0;
+  double epoch = 0.0;
+  double test_accuracy = 0.0;
+};
+
+/// Full record of one federated run.
+struct TrainingHistory {
+  std::vector<EvalPoint> evals;
+  double final_accuracy = 0.0;
+  double best_accuracy = 0.0;
+  int total_rounds = 0;
+  /// Privacy actually enforced (copied from the calibration).
+  double epsilon = 0.0;
+  double sigma = 0.0;
+  double learning_rate = 0.0;
+
+  std::string Summary() const;
+};
+
+}  // namespace fl
+}  // namespace dpbr
+
+#endif  // DPBR_FL_METRICS_H_

@@ -1,0 +1,72 @@
+#include "fl/server.h"
+
+#include "common/logging.h"
+#include "nn/loss.h"
+#include "tensor/ops.h"
+
+namespace dpbr {
+namespace fl {
+
+Server::Server(nn::ModelFactory factory, agg::AggregatorPtr aggregator,
+               data::DatasetView aux, uint64_t seed)
+    : model_(factory()), aggregator_(std::move(aggregator)),
+      aux_(std::move(aux)) {
+  DPBR_CHECK(aggregator_ != nullptr);
+  SplitRng rng(seed, {0x5E4E4});
+  model_->InitParams(&rng);
+  params_ = model_->FlatParams();
+}
+
+Status Server::Step(const std::vector<std::vector<float>>& uploads, double lr,
+                    agg::AggregationContext ctx) {
+  ctx.dim = params_.size();
+  std::vector<float> server_grad;
+  if (aggregator_->NeedsServerGradient()) {
+    DPBR_ASSIGN_OR_RETURN(server_grad, ComputeServerGradient());
+    ctx.server_gradient = &server_grad;
+  }
+  DPBR_ASSIGN_OR_RETURN(std::vector<float> update,
+                        aggregator_->Aggregate(uploads, ctx));
+  if (update.size() != params_.size()) {
+    return Status::Internal("aggregated update dimension mismatch");
+  }
+  ops::Axpy(static_cast<float>(-lr), update.data(), params_.data(),
+            params_.size());
+  return Status::OK();
+}
+
+Result<std::vector<float>> Server::ComputeServerGradient() {
+  if (aux_.empty()) {
+    return Status::FailedPrecondition(
+        "aggregator needs a server gradient but no auxiliary data was "
+        "provided");
+  }
+  model_->SetParamsFrom(params_.data());
+  std::vector<float> acc(params_.size(), 0.0f);
+  std::vector<float> g(params_.size());
+  for (size_t i = 0; i < aux_.size(); ++i) {
+    model_->ZeroGrad();
+    Tensor logits = model_->Forward(aux_.ExampleTensor(i));
+    nn::LossGrad lg = nn::SoftmaxCrossEntropy(
+        logits, static_cast<size_t>(aux_.LabelAt(i)));
+    model_->Backward(lg.grad_logits);
+    model_->CopyGradsTo(g.data());
+    ops::Axpy(1.0f, g.data(), acc.data(), acc.size());
+  }
+  ops::Scale(1.0f / static_cast<float>(aux_.size()), acc.data(), acc.size());
+  return acc;
+}
+
+double Server::EvaluateAccuracy(const data::DatasetView& view) {
+  DPBR_CHECK(!view.empty());
+  model_->SetParamsFrom(params_.data());
+  size_t correct = 0;
+  for (size_t i = 0; i < view.size(); ++i) {
+    Tensor logits = model_->Forward(view.ExampleTensor(i));
+    if (static_cast<int>(nn::Argmax(logits)) == view.LabelAt(i)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(view.size());
+}
+
+}  // namespace fl
+}  // namespace dpbr

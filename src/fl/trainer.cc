@@ -1,0 +1,277 @@
+#include "fl/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "aggregators/mean.h"
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "data/partition.h"
+#include "dp/rdp_accountant.h"
+
+namespace dpbr {
+namespace fl {
+namespace {
+
+// Stream-id tags for deterministic RNG derivation.
+constexpr uint64_t kPartitionStream = 0x9a57;
+constexpr uint64_t kAuxStream = 0xa0c5;
+constexpr uint64_t kByzShardStream = 0xb125;
+constexpr uint64_t kAttackStream = 0xa77c;
+constexpr uint64_t kWorkerStream = 0x3011;
+
+}  // namespace
+
+FederatedTrainer::FederatedTrainer(const data::DatasetBundle* bundle,
+                                   nn::ModelFactory model_factory,
+                                   agg::AggregatorPtr aggregator,
+                                   AttackPtr attack, TrainerOptions options)
+    : bundle_(bundle),
+      model_factory_(std::move(model_factory)),
+      aggregator_hold_(std::move(aggregator)),
+      attack_(std::move(attack)),
+      options_(options) {}
+
+Status FederatedTrainer::Setup() {
+  if (bundle_ == nullptr) return Status::InvalidArgument("null bundle");
+  if (aggregator_hold_ == nullptr) {
+    return Status::InvalidArgument("null aggregator");
+  }
+  if (options_.num_honest <= 0) {
+    return Status::InvalidArgument("need at least one honest worker");
+  }
+  if (options_.num_byzantine < 0) {
+    return Status::InvalidArgument("num_byzantine must be >= 0");
+  }
+  if (options_.num_byzantine > 0 && attack_ == nullptr) {
+    return Status::InvalidArgument(
+        "num_byzantine > 0 requires an attack instance");
+  }
+  if (options_.epochs <= 0) {
+    return Status::InvalidArgument("epochs must be > 0");
+  }
+  if (options_.batch_size <= 0) {
+    return Status::InvalidArgument("batch_size must be > 0");
+  }
+
+  size_t n_honest = static_cast<size_t>(options_.num_honest);
+  size_t n_byz = static_cast<size_t>(options_.num_byzantine);
+  size_t n_total = n_honest + n_byz;
+  gamma_ = options_.gamma >= 0.0
+               ? options_.gamma
+               : static_cast<double>(n_honest) / static_cast<double>(n_total);
+
+  // --- Partition the training data across the honest workers. ---
+  // Byzantine counts never change honest workers' |D| (the paper fixes the
+  // honest population and varies the attacker's injected worker count).
+  SplitRng part_rng(options_.seed, {kPartitionStream});
+  std::vector<std::vector<size_t>> partition;
+  if (options_.iid) {
+    DPBR_ASSIGN_OR_RETURN(
+        partition,
+        data::PartitionIid(bundle_->train.size(), n_honest, &part_rng));
+  } else {
+    DPBR_ASSIGN_OR_RETURN(
+        partition,
+        data::PartitionNonIid(bundle_->train.labels(),
+                              bundle_->train.num_classes(), n_honest,
+                              &part_rng));
+  }
+  std::vector<data::DatasetView> shards =
+      data::MakeShards(&bundle_->train, partition);
+
+  // Common |D| for the privacy calibration: the smallest honest shard
+  // (conservative — a smaller dataset gives a larger sampling rate q).
+  size_t min_shard = shards[0].size();
+  for (const auto& s : shards) min_shard = std::min(min_shard, s.size());
+  if (min_shard == 0) return Status::Internal("empty honest shard");
+
+  // --- Privacy calibration (Theorem 3 via the RDP accountant). ---
+  dp::PrivacySpec spec;
+  spec.epsilon = options_.epsilon;
+  spec.delta = options_.delta;
+  spec.dataset_size = static_cast<int>(min_shard);
+  spec.batch_size = std::min<int>(options_.batch_size,
+                                  static_cast<int>(min_shard));
+  spec.epochs = options_.epochs;
+  DPBR_ASSIGN_OR_RETURN(privacy_, dp::CalibratePrivacy(spec));
+
+  total_rounds_ = static_cast<int>(
+      std::ceil(static_cast<double>(options_.epochs) * min_shard /
+                spec.batch_size));
+  rounds_per_epoch_ = std::max(1, total_rounds_ / options_.epochs);
+
+  // --- Learning rate: η = η_b · σ_b / σ (paper CLAIM 6). ---
+  lr_ = options_.base_lr;
+  if (privacy_.dp_enabled && options_.transfer_base_epsilon > 0.0) {
+    dp::PrivacySpec base_spec = spec;
+    base_spec.epsilon = options_.transfer_base_epsilon;
+    DPBR_ASSIGN_OR_RETURN(dp::PrivacyParams base_privacy,
+                          dp::CalibratePrivacy(base_spec));
+    lr_ = options_.base_lr * base_privacy.sigma / privacy_.sigma;
+  }
+
+  // --- Honest workers (Algorithm 1 clients). ---
+  WorkerOptions wopts;
+  wopts.batch_size = spec.batch_size;
+  wopts.beta = options_.beta;
+  wopts.sigma = privacy_.dp_enabled ? privacy_.sigma : 0.0;
+  wopts.momentum_reset = options_.momentum_reset;
+
+  honest_workers_.clear();
+  for (size_t i = 0; i < n_honest; ++i) {
+    honest_workers_.push_back(std::make_unique<HonestDpWorker>(
+        static_cast<int>(i), shards[i], model_factory_, wopts,
+        SplitRng(options_.seed, {kWorkerStream, i}).Next64()));
+  }
+
+  // --- Poisoned workers for data-poisoning attacks. ---
+  // The omniscient attacker crafts each Byzantine worker's local dataset
+  // as a random |D|-sized subset of the global training data (it knows all
+  // honest data), then poisons the labels.
+  poisoned_workers_.clear();
+  if (attack_ != nullptr && n_byz > 0 && attack_->wants_poisoned_uploads()) {
+    SplitRng byz_rng(options_.seed, {kByzShardStream});
+    for (size_t b = 0; b < n_byz; ++b) {
+      std::vector<size_t> idx = byz_rng.SampleWithoutReplacement(
+          bundle_->train.size(),
+          std::min(min_shard, bundle_->train.size()));
+      data::DatasetView shard(&bundle_->train, std::move(idx));
+      poisoned_workers_.push_back(std::make_unique<HonestDpWorker>(
+          static_cast<int>(n_honest + b), shard.WithFlippedLabels(),
+          model_factory_, wopts,
+          SplitRng(options_.seed, {kWorkerStream, n_honest + b}).Next64()));
+    }
+  }
+
+  // --- Server auxiliary data: aux_per_class samples per class drawn from
+  // the validation split (or an OOD override for Table 17). ---
+  const data::Dataset* aux_source = options_.aux_source_override != nullptr
+                                        ? options_.aux_source_override
+                                        : &bundle_->val;
+  data::DatasetView aux;
+  bool needs_aux = aggregator_hold_->NeedsServerGradient();
+  if (needs_aux) {
+    if (options_.aux_per_class <= 0) {
+      return Status::InvalidArgument("aux_per_class must be positive");
+    }
+    SplitRng aux_rng(options_.seed, {kAuxStream});
+    DPBR_ASSIGN_OR_RETURN(
+        std::vector<size_t> aux_idx,
+        data::SampleAuxiliaryIndices(
+            aux_source->labels(), aux_source->num_classes(),
+            static_cast<size_t>(options_.aux_per_class), &aux_rng));
+    aux = data::DatasetView(aux_source, std::move(aux_idx));
+  }
+
+  server_ = std::make_unique<Server>(model_factory_,
+                                     std::move(aggregator_hold_), aux,
+                                     options_.seed);
+  if (server_->dim() != honest_workers_[0]->dim()) {
+    return Status::Internal("server/worker model dimension mismatch");
+  }
+  setup_done_ = true;
+  return Status::OK();
+}
+
+Result<TrainingHistory> FederatedTrainer::Run() {
+  if (!setup_done_) DPBR_RETURN_NOT_OK(Setup());
+
+  size_t n_honest = honest_workers_.size();
+  size_t n_byz = static_cast<size_t>(options_.num_byzantine);
+  size_t dim = server_->dim();
+
+  TrainingHistory history;
+  history.epsilon = privacy_.dp_enabled
+                        ? privacy_.epsilon
+                        : std::numeric_limits<double>::infinity();
+  history.sigma = privacy_.dp_enabled ? privacy_.sigma : 0.0;
+  history.learning_rate = lr_;
+  history.total_rounds = total_rounds_;
+
+  data::DatasetView test = data::DatasetView::All(&bundle_->test);
+  int eval_every = std::max(
+      1, static_cast<int>(std::lround(options_.eval_every_epochs *
+                                      rounds_per_epoch_)));
+
+  std::vector<std::vector<float>> honest_uploads(
+      n_honest, std::vector<float>(dim, 0.0f));
+  std::vector<std::vector<float>> poisoned_uploads;
+
+  for (int round = 1; round <= total_rounds_; ++round) {
+    const std::vector<float>& params = server_->params();
+
+    // Honest workers compute their DP uploads in parallel; determinism is
+    // guaranteed because each worker's randomness is keyed by
+    // (seed, worker, round), never by thread schedule.
+    ParallelFor(0, n_honest, [&](size_t i) {
+      honest_uploads[i] = honest_workers_[i]->ComputeUpdate(params, round);
+    });
+
+    // Byzantine uploads from the omniscient attacker.
+    std::vector<std::vector<float>> byz_uploads;
+    if (n_byz > 0) {
+      if (attack_->wants_poisoned_uploads()) {
+        poisoned_uploads.assign(n_byz, {});
+        ParallelFor(0, n_byz, [&](size_t b) {
+          poisoned_uploads[b] =
+              poisoned_workers_[b]->ComputeUpdate(params, round);
+        });
+      }
+      SplitRng attack_rng(options_.seed,
+                          {kAttackStream, static_cast<uint64_t>(round)});
+      AttackContext actx;
+      actx.honest_uploads = &honest_uploads;
+      actx.poisoned_uploads = &poisoned_uploads;
+      actx.global_params = &params;
+      actx.dim = dim;
+      actx.sigma_upload = privacy_.dp_enabled ? privacy_.sigma_upload : 0.0;
+      actx.round = round;
+      actx.total_rounds = total_rounds_;
+      actx.rng = &attack_rng;
+      byz_uploads = attack_->Forge(actx, n_byz);
+      if (byz_uploads.size() != n_byz) {
+        return Status::Internal("attack produced wrong upload count");
+      }
+    }
+
+    // Fixed worker-id order: honest ids first, Byzantine after. Index
+    // order is stable across rounds (the second stage accumulates
+    // per-worker scores).
+    std::vector<std::vector<float>> all_uploads;
+    all_uploads.reserve(n_honest + n_byz);
+    for (auto& u : honest_uploads) all_uploads.push_back(u);
+    for (auto& u : byz_uploads) all_uploads.push_back(std::move(u));
+
+    agg::AggregationContext ctx;
+    ctx.round = round;
+    ctx.dim = dim;
+    ctx.sigma_upload = privacy_.dp_enabled ? privacy_.sigma_upload : 0.0;
+    ctx.gamma = gamma_;
+    DPBR_RETURN_NOT_OK(server_->Step(all_uploads, lr_, ctx));
+
+    if (round % eval_every == 0 || round == total_rounds_) {
+      EvalPoint p;
+      p.round = round;
+      p.epoch = static_cast<double>(round) / rounds_per_epoch_;
+      p.test_accuracy = server_->EvaluateAccuracy(test);
+      history.evals.push_back(p);
+      history.best_accuracy = std::max(history.best_accuracy,
+                                       p.test_accuracy);
+    }
+  }
+  if (!history.evals.empty()) {
+    history.final_accuracy = history.evals.back().test_accuracy;
+  }
+  return history;
+}
+
+TrainerOptions ReferenceAccuracyOptions(TrainerOptions options) {
+  options.num_byzantine = 0;
+  options.gamma = -1.0;
+  return options;
+}
+
+}  // namespace fl
+}  // namespace dpbr

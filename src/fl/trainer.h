@@ -1,0 +1,113 @@
+// Federated training loop (Algorithm 1 server side + experiment plumbing).
+//
+// One FederatedTrainer owns: the honest workers (Algorithm 1 clients over
+// shards of the training data), the optional Byzantine attack, the server
+// with its pluggable aggregation rule, privacy calibration, and the
+// learning-rate transfer rule η = η_b · σ_b / σ (paper CLAIM 6).
+
+#ifndef DPBR_FL_TRAINER_H_
+#define DPBR_FL_TRAINER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aggregators/aggregator.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "dp/privacy_params.h"
+#include "fl/attack_interface.h"
+#include "fl/metrics.h"
+#include "fl/server.h"
+#include "fl/worker.h"
+#include "nn/sequential.h"
+
+namespace dpbr {
+namespace fl {
+
+/// Full experiment configuration (defaults follow the paper §6.1).
+struct TrainerOptions {
+  int num_honest = 20;
+  int num_byzantine = 0;
+
+  // DP protocol (Algorithm 1).
+  double epsilon = 1.0;  ///< <= 0 disables DP
+  double delta = -1.0;   ///< < 0 derives 1/|D|^1.1
+  int batch_size = 16;   ///< bc
+  double beta = 0.1;     ///< momentum
+  int epochs = 8;
+  MomentumReset momentum_reset = MomentumReset::kResetToUpload;
+
+  // Learning rate: η = base_lr · σ_b/σ where σ_b is calibrated at
+  // transfer_base_epsilon; set transfer_base_epsilon <= 0 to use base_lr
+  // verbatim (then base_lr is η itself).
+  double base_lr = 0.2;
+  double transfer_base_epsilon = 2.0;
+
+  // Server belief: at least ⌈γn⌉ workers honest. < 0 uses the truth
+  // (num_honest / n).
+  double gamma = -1.0;
+
+  // Data layout.
+  bool iid = true;
+  int aux_per_class = 2;
+  /// Auxiliary data source: by default the bundle's validation split; an
+  /// out-of-distribution source can be injected for Table 17 experiments.
+  const data::Dataset* aux_source_override = nullptr;
+
+  uint64_t seed = 1;
+  /// Evaluate every `eval_every_epochs` epochs (and always at the end).
+  double eval_every_epochs = 1.0;
+};
+
+/// Orchestrates one federated run.
+class FederatedTrainer {
+ public:
+  /// `bundle` must outlive the trainer. `attack` may be null when
+  /// num_byzantine == 0.
+  FederatedTrainer(const data::DatasetBundle* bundle,
+                   nn::ModelFactory model_factory,
+                   agg::AggregatorPtr aggregator, AttackPtr attack,
+                   TrainerOptions options);
+
+  /// Runs the full training loop and returns the history.
+  Result<TrainingHistory> Run();
+
+  /// Privacy calibration used by this run (valid after Run() or after
+  /// a successful Setup()).
+  const dp::PrivacyParams& privacy() const { return privacy_; }
+  double learning_rate() const { return lr_; }
+  int total_rounds() const { return total_rounds_; }
+
+ private:
+  Status Setup();
+
+  const data::DatasetBundle* bundle_;
+  nn::ModelFactory model_factory_;
+  agg::AggregatorPtr aggregator_hold_;  // moved into server_ during Setup
+  AttackPtr attack_;
+  TrainerOptions options_;
+
+  std::unique_ptr<Server> server_;
+  std::vector<std::unique_ptr<HonestDpWorker>> honest_workers_;
+  /// Poisoned-protocol workers backing data-poisoning attacks (only
+  /// instantiated when the attack asks for them).
+  std::vector<std::unique_ptr<HonestDpWorker>> poisoned_workers_;
+
+  dp::PrivacyParams privacy_;
+  double lr_ = 0.0;
+  double gamma_ = 0.5;
+  int total_rounds_ = 0;
+  int rounds_per_epoch_ = 0;
+  bool setup_done_ = false;
+};
+
+/// Convenience: the paper's Reference Accuracy configuration (DP enabled,
+/// mean aggregation, zero Byzantine workers) sharing `options`' privacy
+/// and data settings.
+TrainerOptions ReferenceAccuracyOptions(TrainerOptions options);
+
+}  // namespace fl
+}  // namespace dpbr
+
+#endif  // DPBR_FL_TRAINER_H_

@@ -1,0 +1,4 @@
+#include "fl/upload.h"
+
+// Upload is a plain aggregate; this TU only anchors the header in the
+// build graph.

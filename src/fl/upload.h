@@ -1,0 +1,22 @@
+// The unit of communication from workers to the server.
+
+#ifndef DPBR_FL_UPLOAD_H_
+#define DPBR_FL_UPLOAD_H_
+
+#include <vector>
+
+namespace dpbr {
+namespace fl {
+
+/// One worker's per-round upload. `byzantine` is ground truth used only by
+/// diagnostics and tests — no aggregation rule may read it.
+struct Upload {
+  int worker_id = -1;
+  bool byzantine = false;
+  std::vector<float> gradient;
+};
+
+}  // namespace fl
+}  // namespace dpbr
+
+#endif  // DPBR_FL_UPLOAD_H_

@@ -1,0 +1,93 @@
+#include "fl/worker.h"
+
+#include "common/logging.h"
+#include "nn/loss.h"
+#include "tensor/ops.h"
+
+namespace dpbr {
+namespace fl {
+
+HonestDpWorker::HonestDpWorker(int id, data::DatasetView shard,
+                               nn::ModelFactory factory,
+                               const WorkerOptions& options, uint64_t seed)
+    : id_(id),
+      shard_(std::move(shard)),
+      model_(factory()),
+      options_(options),
+      seed_(seed) {
+  DPBR_CHECK(!shard_.empty());
+  DPBR_CHECK_GT(options_.batch_size, 0);
+  DPBR_CHECK_GE(options_.beta, 0.0);
+  DPBR_CHECK_LT(options_.beta, 1.0);
+  dim_ = model_->NumParams();
+  momentum_.assign(static_cast<size_t>(options_.batch_size),
+                   std::vector<float>(dim_, 0.0f));
+}
+
+void HonestDpWorker::PerExampleGradient(size_t example_index,
+                                        std::vector<float>* out) {
+  model_->ZeroGrad();
+  Tensor x = shard_.ExampleTensor(example_index);
+  Tensor logits = model_->Forward(x);
+  nn::LossGrad lg = nn::SoftmaxCrossEntropy(
+      logits, static_cast<size_t>(shard_.LabelAt(example_index)));
+  model_->Backward(lg.grad_logits);
+  out->resize(dim_);
+  model_->CopyGradsTo(out->data());
+}
+
+std::vector<float> HonestDpWorker::ComputeUpdate(
+    const std::vector<float>& global_params, int round) {
+  DPBR_CHECK_EQ(global_params.size(), dim_);
+  model_->SetParamsFrom(global_params.data());
+
+  SplitRng rng(seed_, {0xF00, static_cast<uint64_t>(round)});
+  size_t bc = static_cast<size_t>(options_.batch_size);
+
+  // Line 5: sample a size-bc mini-batch (without replacement when the
+  // shard allows; tiny shards fall back to with-replacement draws).
+  std::vector<size_t> batch;
+  if (shard_.size() >= bc) {
+    batch = rng.SampleWithoutReplacement(shard_.size(), bc);
+  } else {
+    batch.resize(bc);
+    for (auto& b : batch) b = rng.UniformInt(shard_.size());
+  }
+
+  // Lines 6-9: per-example gradients into the per-slot momentum list.
+  std::vector<float> g(dim_);
+  double one_minus_beta = 1.0 - options_.beta;
+  for (size_t j = 0; j < bc; ++j) {
+    PerExampleGradient(batch[j], &g);
+    std::vector<float>& phi = momentum_[j];
+    float b = static_cast<float>(options_.beta);
+    float omb = static_cast<float>(one_minus_beta);
+    for (size_t k = 0; k < dim_; ++k) {
+      phi[k] = omb * g[k] + b * phi[k];
+    }
+  }
+
+  // Line 10: sum of normalized slots, perturbed, averaged.
+  std::vector<float> upload(dim_, 0.0f);
+  std::vector<float> unit(dim_);
+  for (size_t j = 0; j < bc; ++j) {
+    unit = momentum_[j];
+    ops::NormalizeInPlace(unit.data(), dim_);
+    ops::Axpy(1.0f, unit.data(), upload.data(), dim_);
+  }
+  if (options_.sigma > 0.0) {
+    for (size_t k = 0; k < dim_; ++k) {
+      upload[k] += static_cast<float>(rng.Gaussian(0.0, options_.sigma));
+    }
+  }
+  ops::Scale(1.0f / static_cast<float>(bc), upload.data(), dim_);
+
+  // Line 11: momentum handling after upload (see MomentumReset).
+  if (options_.momentum_reset == MomentumReset::kResetToUpload) {
+    for (size_t j = 0; j < bc; ++j) momentum_[j] = upload;
+  }
+  return upload;
+}
+
+}  // namespace fl
+}  // namespace dpbr

@@ -1,0 +1,72 @@
+// Honest worker implementing the client side of Algorithm 1:
+// per-example gradients → per-slot momentum → normalization → Gaussian
+// perturbation → averaged upload.
+
+#ifndef DPBR_FL_WORKER_H_
+#define DPBR_FL_WORKER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "nn/sequential.h"
+
+namespace dpbr {
+namespace fl {
+
+/// How the momentum list is treated after an upload (Algorithm 1 line 11).
+enum class MomentumReset {
+  /// Literal reading of line 11: every slot is overwritten with the noisy
+  /// uploaded gradient, φ[j] ← g_i.
+  kResetToUpload,
+  /// Conventional variant: per-slot momenta persist across rounds.
+  kPersist,
+};
+
+/// Per-worker protocol knobs.
+struct WorkerOptions {
+  int batch_size = 16;  ///< bc; the paper stresses keeping this SMALL
+  double beta = 0.1;    ///< momentum coefficient
+  /// Std of the Gaussian noise added to the normalized-gradient *sum*
+  /// (σ in Algorithm 1 line 10). 0 disables DP (reference runs).
+  double sigma = 0.0;
+  MomentumReset momentum_reset = MomentumReset::kResetToUpload;
+};
+
+/// A worker following the DP protocol honestly on its local shard
+/// (honest workers; also reused for Label-flip Byzantine workers, whose
+/// shards have poisoned labels).
+class HonestDpWorker {
+ public:
+  /// `seed` must be unique per worker; every round derives an independent
+  /// stream from (seed, round), making runs thread-schedule independent.
+  HonestDpWorker(int id, data::DatasetView shard, nn::ModelFactory factory,
+                 const WorkerOptions& options, uint64_t seed);
+
+  /// Runs Algorithm 1 lines 5-11 and returns the upload g_i^t.
+  std::vector<float> ComputeUpdate(const std::vector<float>& global_params,
+                                   int round);
+
+  int id() const { return id_; }
+  size_t dim() const { return dim_; }
+  size_t shard_size() const { return shard_.size(); }
+
+ private:
+  /// Per-example gradient of the loss at the model's current parameters.
+  void PerExampleGradient(size_t example_index, std::vector<float>* out);
+
+  int id_;
+  data::DatasetView shard_;
+  std::unique_ptr<nn::Sequential> model_;
+  WorkerOptions options_;
+  uint64_t seed_;
+  size_t dim_;
+  /// Momentum list φ: batch_size slots of dimension d (Algorithm 1 line 1).
+  std::vector<std::vector<float>> momentum_;
+};
+
+}  // namespace fl
+}  // namespace dpbr
+
+#endif  // DPBR_FL_WORKER_H_

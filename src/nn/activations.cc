@@ -1,0 +1,53 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dpbr {
+namespace nn {
+
+Tensor Elu::Forward(const Tensor& x) {
+  cached_input_ = x;
+  Tensor y = x;
+  float a = static_cast<float>(alpha_);
+  for (size_t i = 0; i < y.size(); ++i) {
+    if (y[i] <= 0.0f) y[i] = a * (std::exp(y[i]) - 1.0f);
+  }
+  cached_output_ = y;
+  return y;
+}
+
+Tensor Elu::Backward(const Tensor& grad_out) {
+  DPBR_CHECK(grad_out.SameShape(cached_input_));
+  Tensor dx = grad_out;
+  float a = static_cast<float>(alpha_);
+  for (size_t i = 0; i < dx.size(); ++i) {
+    if (cached_input_[i] <= 0.0f) {
+      // d/dx α(eˣ-1) = αeˣ = y + α.
+      dx[i] *= cached_output_[i] + a;
+    }
+  }
+  return dx;
+}
+
+Tensor Relu::Forward(const Tensor& x) {
+  cached_input_ = x;
+  Tensor y = x;
+  for (size_t i = 0; i < y.size(); ++i) {
+    if (y[i] < 0.0f) y[i] = 0.0f;
+  }
+  return y;
+}
+
+Tensor Relu::Backward(const Tensor& grad_out) {
+  DPBR_CHECK(grad_out.SameShape(cached_input_));
+  Tensor dx = grad_out;
+  for (size_t i = 0; i < dx.size(); ++i) {
+    if (cached_input_[i] <= 0.0f) dx[i] = 0.0f;
+  }
+  return dx;
+}
+
+}  // namespace nn
+}  // namespace dpbr

@@ -1,0 +1,42 @@
+// Elementwise activation layers: ELU (the paper's networks) and ReLU.
+
+#ifndef DPBR_NN_ACTIVATIONS_H_
+#define DPBR_NN_ACTIVATIONS_H_
+
+#include <string>
+
+#include "nn/layer.h"
+
+namespace dpbr {
+namespace nn {
+
+/// ELU(x) = x for x > 0, α(eˣ - 1) otherwise.
+class Elu : public Layer {
+ public:
+  explicit Elu(double alpha = 1.0) : alpha_(alpha) {}
+
+  Tensor Forward(const Tensor& x) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::string name() const override { return "ELU"; }
+
+ private:
+  double alpha_;
+  Tensor cached_input_;
+  Tensor cached_output_;
+};
+
+/// ReLU(x) = max(x, 0).
+class Relu : public Layer {
+ public:
+  Tensor Forward(const Tensor& x) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+}  // namespace nn
+}  // namespace dpbr
+
+#endif  // DPBR_NN_ACTIVATIONS_H_

@@ -1,0 +1,118 @@
+#include "nn/conv2d.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dpbr {
+namespace nn {
+
+Conv2d::Conv2d(size_t in_channels, size_t out_channels, size_t kernel_size,
+               size_t padding)
+    : in_ch_(in_channels),
+      out_ch_(out_channels),
+      k_(kernel_size),
+      pad_(padding),
+      weight_(out_channels * in_channels * kernel_size * kernel_size, 0.0f),
+      bias_(out_channels, 0.0f),
+      weight_grad_(weight_.size(), 0.0f),
+      bias_grad_(out_channels, 0.0f) {
+  DPBR_CHECK_GT(in_ch_, 0u);
+  DPBR_CHECK_GT(out_ch_, 0u);
+  DPBR_CHECK_GT(k_, 0u);
+}
+
+Tensor Conv2d::Forward(const Tensor& x) {
+  DPBR_CHECK_EQ(x.ndim(), 3u);
+  DPBR_CHECK_EQ(x.dim(0), in_ch_);
+  size_t h = x.dim(1), w = x.dim(2);
+  DPBR_CHECK_GE(h + 2 * pad_ + 1, k_);
+  DPBR_CHECK_GE(w + 2 * pad_ + 1, k_);
+  size_t oh = h + 2 * pad_ - k_ + 1;
+  size_t ow = w + 2 * pad_ - k_ + 1;
+  cached_input_ = x;
+  Tensor y({out_ch_, oh, ow});
+  for (size_t oc = 0; oc < out_ch_; ++oc) {
+    for (size_t i = 0; i < oh; ++i) {
+      for (size_t j = 0; j < ow; ++j) {
+        double s = bias_[oc];
+        for (size_t ic = 0; ic < in_ch_; ++ic) {
+          for (size_t kh = 0; kh < k_; ++kh) {
+            // Input row index with padding offset; skip out-of-bounds rows.
+            long long ih = static_cast<long long>(i + kh) -
+                           static_cast<long long>(pad_);
+            if (ih < 0 || ih >= static_cast<long long>(h)) continue;
+            for (size_t kw = 0; kw < k_; ++kw) {
+              long long iw = static_cast<long long>(j + kw) -
+                             static_cast<long long>(pad_);
+              if (iw < 0 || iw >= static_cast<long long>(w)) continue;
+              s += static_cast<double>(W(oc, ic, kh, kw)) *
+                   x.at(ic, static_cast<size_t>(ih), static_cast<size_t>(iw));
+            }
+          }
+        }
+        y.at(oc, i, j) = static_cast<float>(s);
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2d::Backward(const Tensor& grad_out) {
+  const Tensor& x = cached_input_;
+  size_t h = x.dim(1), w = x.dim(2);
+  size_t oh = h + 2 * pad_ - k_ + 1;
+  size_t ow = w + 2 * pad_ - k_ + 1;
+  DPBR_CHECK_EQ(grad_out.ndim(), 3u);
+  DPBR_CHECK_EQ(grad_out.dim(0), out_ch_);
+  DPBR_CHECK_EQ(grad_out.dim(1), oh);
+  DPBR_CHECK_EQ(grad_out.dim(2), ow);
+
+  Tensor dx({in_ch_, h, w});
+  for (size_t oc = 0; oc < out_ch_; ++oc) {
+    for (size_t i = 0; i < oh; ++i) {
+      for (size_t j = 0; j < ow; ++j) {
+        float g = grad_out.at(oc, i, j);
+        if (g == 0.0f) continue;
+        bias_grad_[oc] += g;
+        for (size_t ic = 0; ic < in_ch_; ++ic) {
+          for (size_t kh = 0; kh < k_; ++kh) {
+            long long ih = static_cast<long long>(i + kh) -
+                           static_cast<long long>(pad_);
+            if (ih < 0 || ih >= static_cast<long long>(h)) continue;
+            for (size_t kw = 0; kw < k_; ++kw) {
+              long long iw = static_cast<long long>(j + kw) -
+                             static_cast<long long>(pad_);
+              if (iw < 0 || iw >= static_cast<long long>(w)) continue;
+              float xv =
+                  x.at(ic, static_cast<size_t>(ih), static_cast<size_t>(iw));
+              Wg(oc, ic, kh, kw) += g * xv;
+              dx.at(ic, static_cast<size_t>(ih), static_cast<size_t>(iw)) +=
+                  g * W(oc, ic, kh, kw);
+            }
+          }
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+std::vector<ParamView> Conv2d::Params() {
+  return {
+      {weight_.data(), weight_grad_.data(), weight_.size()},
+      {bias_.data(), bias_grad_.data(), bias_.size()},
+  };
+}
+
+void Conv2d::InitParams(SplitRng* rng) {
+  double fan_in = static_cast<double>(in_ch_ * k_ * k_);
+  double bound = std::sqrt(6.0 / fan_in);
+  for (auto& w : weight_) {
+    w = static_cast<float>(rng->Uniform(-bound, bound));
+  }
+  for (auto& b : bias_) b = 0.0f;
+}
+
+}  // namespace nn
+}  // namespace dpbr

@@ -1,0 +1,54 @@
+// 2-d convolution on single-example (C, H, W) tensors.
+//
+// Direct (non-im2col) implementation: the paper's networks use at most
+// three 16-channel convolutions on small images, where the loop nest is
+// fast and the code stays auditable.
+
+#ifndef DPBR_NN_CONV2D_H_
+#define DPBR_NN_CONV2D_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace dpbr {
+namespace nn {
+
+/// Conv2d with stride 1 and symmetric zero padding.
+class Conv2d : public Layer {
+ public:
+  Conv2d(size_t in_channels, size_t out_channels, size_t kernel_size,
+         size_t padding = 0);
+
+  Tensor Forward(const Tensor& x) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::vector<ParamView> Params() override;
+  void InitParams(SplitRng* rng) override;
+  std::string name() const override { return "Conv2d"; }
+
+  size_t out_channels() const { return out_ch_; }
+
+ private:
+  float& W(size_t oc, size_t ic, size_t kh, size_t kw) {
+    return weight_[((oc * in_ch_ + ic) * k_ + kh) * k_ + kw];
+  }
+  float& Wg(size_t oc, size_t ic, size_t kh, size_t kw) {
+    return weight_grad_[((oc * in_ch_ + ic) * k_ + kh) * k_ + kw];
+  }
+
+  size_t in_ch_;
+  size_t out_ch_;
+  size_t k_;
+  size_t pad_;
+  std::vector<float> weight_;  // (out, in, k, k)
+  std::vector<float> bias_;    // (out)
+  std::vector<float> weight_grad_;
+  std::vector<float> bias_grad_;
+  Tensor cached_input_;  // (C, H, W)
+};
+
+}  // namespace nn
+}  // namespace dpbr
+
+#endif  // DPBR_NN_CONV2D_H_

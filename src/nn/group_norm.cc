@@ -1,0 +1,138 @@
+#include "nn/group_norm.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dpbr {
+namespace nn {
+
+GroupNorm::GroupNorm(size_t num_groups, size_t num_channels, double eps,
+                     bool affine)
+    : groups_(num_groups),
+      channels_(num_channels),
+      eps_(eps),
+      affine_(affine),
+      gamma_(num_channels, 1.0f),
+      beta_(num_channels, 0.0f),
+      gamma_grad_(num_channels, 0.0f),
+      beta_grad_(num_channels, 0.0f) {
+  DPBR_CHECK_GT(groups_, 0u);
+  DPBR_CHECK_EQ(channels_ % groups_, 0u);
+}
+
+Tensor GroupNorm::Forward(const Tensor& x) {
+  DPBR_CHECK_EQ(x.ndim(), 3u);
+  DPBR_CHECK_EQ(x.dim(0), channels_);
+  size_t h = x.dim(1), w = x.dim(2);
+  size_t spatial = h * w;
+  size_t cpg = channels_ / groups_;  // channels per group
+  size_t group_size = cpg * spatial;
+
+  cached_xhat_ = Tensor({channels_, h, w});
+  cached_inv_std_.assign(groups_, 0.0);
+
+  Tensor y({channels_, h, w});
+  const float* xd = x.data();
+  float* xh = cached_xhat_.data();
+  float* yd = y.data();
+  for (size_t g = 0; g < groups_; ++g) {
+    const float* gx = xd + g * group_size;
+    double mean = 0.0;
+    for (size_t i = 0; i < group_size; ++i) mean += gx[i];
+    mean /= static_cast<double>(group_size);
+    double var = 0.0;
+    for (size_t i = 0; i < group_size; ++i) {
+      double d = gx[i] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(group_size);
+    double inv_std = 1.0 / std::sqrt(var + eps_);
+    cached_inv_std_[g] = inv_std;
+    for (size_t c = 0; c < cpg; ++c) {
+      size_t ch = g * cpg + c;
+      float gam = gamma_[ch], bet = beta_[ch];
+      for (size_t s = 0; s < spatial; ++s) {
+        size_t idx = g * group_size + c * spatial + s;
+        float xhat = static_cast<float>((xd[idx] - mean) * inv_std);
+        xh[idx] = xhat;
+        yd[idx] = gam * xhat + bet;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor GroupNorm::Backward(const Tensor& grad_out) {
+  DPBR_CHECK(grad_out.SameShape(cached_xhat_));
+  size_t h = cached_xhat_.dim(1), w = cached_xhat_.dim(2);
+  size_t spatial = h * w;
+  size_t cpg = channels_ / groups_;
+  size_t group_size = cpg * spatial;
+  double inv_m = 1.0 / static_cast<double>(group_size);
+
+  Tensor dx({channels_, h, w});
+  const float* dy = grad_out.data();
+  const float* xh = cached_xhat_.data();
+  float* dxd = dx.data();
+
+  // Per-channel affine gradients (skipped when the layer has no affine
+  // parameters).
+  if (affine_) {
+    for (size_t ch = 0; ch < channels_; ++ch) {
+      double dg = 0.0, db = 0.0;
+      for (size_t s = 0; s < spatial; ++s) {
+        size_t idx = ch * spatial + s;
+        dg += static_cast<double>(dy[idx]) * xh[idx];
+        db += dy[idx];
+      }
+      gamma_grad_[ch] += static_cast<float>(dg);
+      beta_grad_[ch] += static_cast<float>(db);
+    }
+  }
+
+  // Per-group input gradient (layer-norm formula applied within a group):
+  //   dxhat = dy * γ
+  //   dx = inv_std * (dxhat - mean(dxhat) - xhat * mean(dxhat ⊙ xhat)).
+  for (size_t g = 0; g < groups_; ++g) {
+    double sum_dxhat = 0.0, sum_dxhat_xhat = 0.0;
+    for (size_t c = 0; c < cpg; ++c) {
+      size_t ch = g * cpg + c;
+      for (size_t s = 0; s < spatial; ++s) {
+        size_t idx = ch * spatial + s;
+        double dxhat = static_cast<double>(dy[idx]) * gamma_[ch];
+        sum_dxhat += dxhat;
+        sum_dxhat_xhat += dxhat * xh[idx];
+      }
+    }
+    double mean_dxhat = sum_dxhat * inv_m;
+    double mean_dxhat_xhat = sum_dxhat_xhat * inv_m;
+    double inv_std = cached_inv_std_[g];
+    for (size_t c = 0; c < cpg; ++c) {
+      size_t ch = g * cpg + c;
+      for (size_t s = 0; s < spatial; ++s) {
+        size_t idx = ch * spatial + s;
+        double dxhat = static_cast<double>(dy[idx]) * gamma_[ch];
+        dxd[idx] = static_cast<float>(
+            inv_std * (dxhat - mean_dxhat - xh[idx] * mean_dxhat_xhat));
+      }
+    }
+  }
+  return dx;
+}
+
+std::vector<ParamView> GroupNorm::Params() {
+  if (!affine_) return {};
+  return {
+      {gamma_.data(), gamma_grad_.data(), gamma_.size()},
+      {beta_.data(), beta_grad_.data(), beta_.size()},
+  };
+}
+
+void GroupNorm::InitParams(SplitRng* /*rng*/) {
+  for (auto& g : gamma_) g = 1.0f;
+  for (auto& b : beta_) b = 0.0f;
+}
+
+}  // namespace nn
+}  // namespace dpbr

@@ -1,0 +1,19 @@
+#include "nn/layer.h"
+
+namespace dpbr {
+namespace nn {
+
+void Layer::ZeroGrad() {
+  for (ParamView& p : Params()) {
+    for (size_t i = 0; i < p.size; ++i) p.grad[i] = 0.0f;
+  }
+}
+
+size_t Layer::NumParams() {
+  size_t n = 0;
+  for (const ParamView& p : Params()) n += p.size;
+  return n;
+}
+
+}  // namespace nn
+}  // namespace dpbr

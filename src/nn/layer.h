@@ -1,0 +1,62 @@
+// Layer abstraction for per-example forward/backward.
+//
+// dpbr networks process one example at a time because the DP protocol
+// (Algorithm 1) consumes *per-example* gradients. Layers cache whatever
+// they need during Forward and accumulate parameter gradients during
+// Backward; a layer instance therefore serves exactly one example at a
+// time (each federated worker owns a private model copy).
+
+#ifndef DPBR_NN_LAYER_H_
+#define DPBR_NN_LAYER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace dpbr {
+namespace nn {
+
+/// Mutable view into one parameter tensor and its gradient accumulator.
+struct ParamView {
+  float* value = nullptr;
+  float* grad = nullptr;
+  size_t size = 0;
+};
+
+/// Base class for all layers.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output for a single example, caching activations
+  /// needed by Backward.
+  virtual Tensor Forward(const Tensor& x) = 0;
+
+  /// Given dL/d(output), accumulates dL/d(params) into the grad buffers
+  /// and returns dL/d(input). Must be preceded by a matching Forward.
+  virtual Tensor Backward(const Tensor& grad_out) = 0;
+
+  /// Views over this layer's parameters (empty for stateless layers).
+  virtual std::vector<ParamView> Params() { return {}; }
+
+  /// Initializes parameters (weights: layer-appropriate scheme; biases: 0).
+  virtual void InitParams(SplitRng* /*rng*/) {}
+
+  /// Zeroes all gradient accumulators.
+  void ZeroGrad();
+
+  /// Total number of scalar parameters.
+  size_t NumParams();
+
+  virtual std::string name() const = 0;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace nn
+}  // namespace dpbr
+
+#endif  // DPBR_NN_LAYER_H_

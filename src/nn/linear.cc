@@ -1,0 +1,60 @@
+#include "nn/linear.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace dpbr {
+namespace nn {
+
+Linear::Linear(size_t in_features, size_t out_features)
+    : in_(in_features),
+      out_(out_features),
+      weight_(in_features * out_features, 0.0f),
+      bias_(out_features, 0.0f),
+      weight_grad_(in_features * out_features, 0.0f),
+      bias_grad_(out_features, 0.0f) {
+  DPBR_CHECK_GT(in_, 0u);
+  DPBR_CHECK_GT(out_, 0u);
+}
+
+Tensor Linear::Forward(const Tensor& x) {
+  DPBR_CHECK_EQ(x.size(), in_);
+  cached_input_.assign(x.data(), x.data() + in_);
+  Tensor y({out_});
+  ops::MatVec(weight_.data(), x.data(), y.data(), out_, in_);
+  for (size_t r = 0; r < out_; ++r) y[r] += bias_[r];
+  return y;
+}
+
+Tensor Linear::Backward(const Tensor& grad_out) {
+  DPBR_CHECK_EQ(grad_out.size(), out_);
+  DPBR_CHECK_EQ(cached_input_.size(), in_);
+  // dW += dy ⊗ x, db += dy, dx = Wᵀ dy.
+  ops::Ger(1.0f, grad_out.data(), cached_input_.data(), weight_grad_.data(),
+           out_, in_);
+  ops::Axpy(1.0f, grad_out.data(), bias_grad_.data(), out_);
+  Tensor dx({in_});
+  ops::MatVecTransposed(weight_.data(), grad_out.data(), dx.data(), out_, in_);
+  return dx;
+}
+
+std::vector<ParamView> Linear::Params() {
+  return {
+      {weight_.data(), weight_grad_.data(), weight_.size()},
+      {bias_.data(), bias_grad_.data(), bias_.size()},
+  };
+}
+
+void Linear::InitParams(SplitRng* rng) {
+  // He-uniform: U(-b, b) with b = sqrt(6 / fan_in).
+  double bound = std::sqrt(6.0 / static_cast<double>(in_));
+  for (auto& w : weight_) {
+    w = static_cast<float>(rng->Uniform(-bound, bound));
+  }
+  for (auto& b : bias_) b = 0.0f;
+}
+
+}  // namespace nn
+}  // namespace dpbr

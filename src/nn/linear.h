@@ -1,0 +1,44 @@
+// Fully connected layer: y = W x + b.
+
+#ifndef DPBR_NN_LINEAR_H_
+#define DPBR_NN_LINEAR_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace dpbr {
+namespace nn {
+
+/// Dense affine map from `in_features` to `out_features`.
+class Linear : public Layer {
+ public:
+  Linear(size_t in_features, size_t out_features);
+
+  Tensor Forward(const Tensor& x) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::vector<ParamView> Params() override;
+
+  /// He-uniform weights (suits the ELU/ReLU nets used here), zero bias.
+  void InitParams(SplitRng* rng) override;
+
+  std::string name() const override { return "Linear"; }
+
+  size_t in_features() const { return in_; }
+  size_t out_features() const { return out_; }
+
+ private:
+  size_t in_;
+  size_t out_;
+  std::vector<float> weight_;       // out x in, row-major
+  std::vector<float> bias_;         // out
+  std::vector<float> weight_grad_;  // accumulates across examples
+  std::vector<float> bias_grad_;
+  std::vector<float> cached_input_;  // flattened x from last Forward
+};
+
+}  // namespace nn
+}  // namespace dpbr
+
+#endif  // DPBR_NN_LINEAR_H_

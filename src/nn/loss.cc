@@ -1,0 +1,50 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dpbr {
+namespace nn {
+
+std::vector<double> Softmax(const Tensor& logits) {
+  DPBR_CHECK_GT(logits.size(), 0u);
+  double mx = logits[0];
+  for (size_t i = 1; i < logits.size(); ++i) {
+    mx = std::max(mx, static_cast<double>(logits[i]));
+  }
+  std::vector<double> p(logits.size());
+  double z = 0.0;
+  for (size_t i = 0; i < logits.size(); ++i) {
+    p[i] = std::exp(static_cast<double>(logits[i]) - mx);
+    z += p[i];
+  }
+  for (auto& v : p) v /= z;
+  return p;
+}
+
+size_t Argmax(const Tensor& logits) {
+  DPBR_CHECK_GT(logits.size(), 0u);
+  size_t best = 0;
+  for (size_t i = 1; i < logits.size(); ++i) {
+    if (logits[i] > logits[best]) best = i;
+  }
+  return best;
+}
+
+LossGrad SoftmaxCrossEntropy(const Tensor& logits, size_t label) {
+  DPBR_CHECK_LT(label, logits.size());
+  std::vector<double> p = Softmax(logits);
+  LossGrad out;
+  out.loss = -std::log(std::max(p[label], 1e-30));
+  out.grad_logits = Tensor({logits.size()});
+  for (size_t i = 0; i < logits.size(); ++i) {
+    out.grad_logits[i] =
+        static_cast<float>(p[i] - (i == label ? 1.0 : 0.0));
+  }
+  return out;
+}
+
+}  // namespace nn
+}  // namespace dpbr

@@ -1,0 +1,31 @@
+// Softmax cross-entropy loss for classification.
+
+#ifndef DPBR_NN_LOSS_H_
+#define DPBR_NN_LOSS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dpbr {
+namespace nn {
+
+/// Numerically stable softmax of a logit vector.
+std::vector<double> Softmax(const Tensor& logits);
+
+/// Index of the maximum logit.
+size_t Argmax(const Tensor& logits);
+
+/// Loss value and gradient of softmax cross-entropy w.r.t. the logits:
+/// grad = softmax(logits) - onehot(label).
+struct LossGrad {
+  double loss = 0.0;
+  Tensor grad_logits;
+};
+LossGrad SoftmaxCrossEntropy(const Tensor& logits, size_t label);
+
+}  // namespace nn
+}  // namespace dpbr
+
+#endif  // DPBR_NN_LOSS_H_

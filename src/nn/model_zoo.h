@@ -1,0 +1,45 @@
+// Model constructors mirroring the paper's three network families
+// (supp. A.1), parameterized so the same architectures scale down to the
+// synthetic datasets used in this reproduction.
+
+#ifndef DPBR_NN_MODEL_ZOO_H_
+#define DPBR_NN_MODEL_ZOO_H_
+
+#include <cstddef>
+#include <memory>
+
+#include "nn/sequential.h"
+
+namespace dpbr {
+namespace nn {
+
+/// The paper's Fashion/USPS network: Flatten → Linear(in, hidden) → ELU →
+/// Linear(hidden, classes). With in=784, hidden=32, classes=10 this gives
+/// d = 25450 exactly as reported.
+std::unique_ptr<Sequential> MakeMlp(size_t input_dim, size_t hidden,
+                                    size_t num_classes);
+
+/// The paper's MNIST-style CNN: three (Conv→ELU→GroupNorm) stages with
+/// `channels` feature maps, AdaptiveAvgPool(4,4), Linear(16·channels, 32),
+/// ELU, Linear(32, classes). Kernel size is configurable so the same
+/// topology works on small synthetic images.
+std::unique_ptr<Sequential> MakeCnn(size_t in_channels, size_t channels,
+                                    size_t kernel, size_t num_classes);
+
+/// The paper's Colorectal-style CNN: like MakeCnn but the middle
+/// convolution stage is wrapped in a residual connection.
+std::unique_ptr<Sequential> MakeResidualCnn(size_t in_channels,
+                                            size_t channels, size_t kernel,
+                                            size_t num_classes);
+
+/// Factory helpers capturing the hyper-parameters by value.
+ModelFactory MlpFactory(size_t input_dim, size_t hidden, size_t num_classes);
+ModelFactory CnnFactory(size_t in_channels, size_t channels, size_t kernel,
+                        size_t num_classes);
+ModelFactory ResidualCnnFactory(size_t in_channels, size_t channels,
+                                size_t kernel, size_t num_classes);
+
+}  // namespace nn
+}  // namespace dpbr
+
+#endif  // DPBR_NN_MODEL_ZOO_H_

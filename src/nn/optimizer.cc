@@ -1,0 +1,33 @@
+#include "nn/optimizer.h"
+
+#include "common/logging.h"
+
+namespace dpbr {
+namespace nn {
+
+Sgd::Sgd(Sequential* model, double lr, double momentum)
+    : model_(model), lr_(lr), momentum_(momentum) {
+  DPBR_CHECK(model_ != nullptr);
+  for (const auto& p : model_->Params()) {
+    buffers_.emplace_back(p.size, 0.0f);
+  }
+}
+
+void Sgd::Step() {
+  auto params = model_->Params();
+  DPBR_CHECK_EQ(params.size(), buffers_.size());
+  float lr = static_cast<float>(lr_);
+  float mom = static_cast<float>(momentum_);
+  for (size_t k = 0; k < params.size(); ++k) {
+    ParamView& p = params[k];
+    std::vector<float>& buf = buffers_[k];
+    for (size_t i = 0; i < p.size; ++i) {
+      buf[i] = mom * buf[i] + p.grad[i];
+      p.value[i] -= lr * buf[i];
+      p.grad[i] = 0.0f;
+    }
+  }
+}
+
+}  // namespace nn
+}  // namespace dpbr

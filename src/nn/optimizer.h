@@ -1,0 +1,36 @@
+// Plain SGD with optional classical momentum, used by centralized
+// baselines and tests (the federated protocol performs its own updates).
+
+#ifndef DPBR_NN_OPTIMIZER_H_
+#define DPBR_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/sequential.h"
+
+namespace dpbr {
+namespace nn {
+
+/// w ← w − lr · (g + momentum·buffer); buffer updated per step.
+class Sgd {
+ public:
+  Sgd(Sequential* model, double lr, double momentum = 0.0);
+
+  /// Applies one update from the model's accumulated gradients and zeroes
+  /// them afterwards.
+  void Step();
+
+  void set_lr(double lr) { lr_ = lr; }
+  double lr() const { return lr_; }
+
+ private:
+  Sequential* model_;  // not owned
+  double lr_;
+  double momentum_;
+  std::vector<std::vector<float>> buffers_;  // one per ParamView
+};
+
+}  // namespace nn
+}  // namespace dpbr
+
+#endif  // DPBR_NN_OPTIMIZER_H_

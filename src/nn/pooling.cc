@@ -1,0 +1,87 @@
+#include "nn/pooling.h"
+
+#include "common/logging.h"
+
+namespace dpbr {
+namespace nn {
+namespace {
+
+inline size_t RegionStart(size_t i, size_t in, size_t out) {
+  return (i * in) / out;
+}
+
+inline size_t RegionEnd(size_t i, size_t in, size_t out) {
+  return ((i + 1) * in + out - 1) / out;  // ceil
+}
+
+}  // namespace
+
+AdaptiveAvgPool2d::AdaptiveAvgPool2d(size_t out_h, size_t out_w)
+    : out_h_(out_h), out_w_(out_w) {
+  DPBR_CHECK_GT(out_h_, 0u);
+  DPBR_CHECK_GT(out_w_, 0u);
+}
+
+Tensor AdaptiveAvgPool2d::Forward(const Tensor& x) {
+  DPBR_CHECK_EQ(x.ndim(), 3u);
+  size_t c = x.dim(0), h = x.dim(1), w = x.dim(2);
+  DPBR_CHECK_GE(h, out_h_);
+  DPBR_CHECK_GE(w, out_w_);
+  cached_in_shape_ = x.shape();
+  Tensor y({c, out_h_, out_w_});
+  for (size_t ch = 0; ch < c; ++ch) {
+    for (size_t i = 0; i < out_h_; ++i) {
+      size_t h0 = RegionStart(i, h, out_h_), h1 = RegionEnd(i, h, out_h_);
+      for (size_t j = 0; j < out_w_; ++j) {
+        size_t w0 = RegionStart(j, w, out_w_), w1 = RegionEnd(j, w, out_w_);
+        double s = 0.0;
+        for (size_t a = h0; a < h1; ++a) {
+          for (size_t b = w0; b < w1; ++b) s += x.at(ch, a, b);
+        }
+        y.at(ch, i, j) =
+            static_cast<float>(s / static_cast<double>((h1 - h0) * (w1 - w0)));
+      }
+    }
+  }
+  return y;
+}
+
+Tensor AdaptiveAvgPool2d::Backward(const Tensor& grad_out) {
+  DPBR_CHECK_EQ(cached_in_shape_.size(), 3u);
+  size_t c = cached_in_shape_[0], h = cached_in_shape_[1],
+         w = cached_in_shape_[2];
+  DPBR_CHECK_EQ(grad_out.dim(0), c);
+  DPBR_CHECK_EQ(grad_out.dim(1), out_h_);
+  DPBR_CHECK_EQ(grad_out.dim(2), out_w_);
+  Tensor dx({c, h, w});
+  for (size_t ch = 0; ch < c; ++ch) {
+    for (size_t i = 0; i < out_h_; ++i) {
+      size_t h0 = RegionStart(i, h, out_h_), h1 = RegionEnd(i, h, out_h_);
+      for (size_t j = 0; j < out_w_; ++j) {
+        size_t w0 = RegionStart(j, w, out_w_), w1 = RegionEnd(j, w, out_w_);
+        float g = grad_out.at(ch, i, j) /
+                  static_cast<float>((h1 - h0) * (w1 - w0));
+        for (size_t a = h0; a < h1; ++a) {
+          for (size_t b = w0; b < w1; ++b) dx.at(ch, a, b) += g;
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+Tensor Flatten::Forward(const Tensor& x) {
+  cached_in_shape_ = x.shape();
+  auto r = x.Reshape({x.size()});
+  DPBR_CHECK(r.ok());
+  return std::move(r).value();
+}
+
+Tensor Flatten::Backward(const Tensor& grad_out) {
+  auto r = grad_out.Reshape(cached_in_shape_);
+  DPBR_CHECK(r.ok());
+  return std::move(r).value();
+}
+
+}  // namespace nn
+}  // namespace dpbr

@@ -1,0 +1,45 @@
+// Adaptive average pooling and flattening.
+
+#ifndef DPBR_NN_POOLING_H_
+#define DPBR_NN_POOLING_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace dpbr {
+namespace nn {
+
+/// AdaptiveAvgPool2d: averages a (C, H, W) input into (C, out_h, out_w)
+/// using PyTorch's region convention
+///   start = floor(i·H/out_h), end = ceil((i+1)·H/out_h).
+class AdaptiveAvgPool2d : public Layer {
+ public:
+  AdaptiveAvgPool2d(size_t out_h, size_t out_w);
+
+  Tensor Forward(const Tensor& x) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::string name() const override { return "AdaptiveAvgPool2d"; }
+
+ private:
+  size_t out_h_;
+  size_t out_w_;
+  std::vector<size_t> cached_in_shape_;
+};
+
+/// Flattens any tensor to 1-d; Backward restores the original shape.
+class Flatten : public Layer {
+ public:
+  Tensor Forward(const Tensor& x) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  std::vector<size_t> cached_in_shape_;
+};
+
+}  // namespace nn
+}  // namespace dpbr
+
+#endif  // DPBR_NN_POOLING_H_

@@ -1,0 +1,106 @@
+#include "nn/sequential.h"
+
+#include "common/logging.h"
+
+namespace dpbr {
+namespace nn {
+
+Sequential& Sequential::Add(LayerPtr layer) {
+  DPBR_CHECK(layer != nullptr);
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::Forward(const Tensor& x) {
+  Tensor h = x;
+  for (auto& l : layers_) h = l->Forward(h);
+  return h;
+}
+
+Tensor Sequential::Backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+  return g;
+}
+
+std::vector<ParamView> Sequential::Params() {
+  std::vector<ParamView> all;
+  for (auto& l : layers_) {
+    for (auto& p : l->Params()) all.push_back(p);
+  }
+  return all;
+}
+
+void Sequential::InitParams(SplitRng* rng) {
+  // Each layer gets its own derived stream so adding layers does not
+  // reshuffle earlier layers' initialization.
+  uint64_t idx = 0;
+  for (auto& l : layers_) {
+    SplitRng child = rng->Split(idx++);
+    l->InitParams(&child);
+  }
+}
+
+void Sequential::CopyParamsTo(float* out) {
+  size_t off = 0;
+  for (auto& p : Params()) {
+    for (size_t i = 0; i < p.size; ++i) out[off + i] = p.value[i];
+    off += p.size;
+  }
+}
+
+void Sequential::SetParamsFrom(const float* in) {
+  size_t off = 0;
+  for (auto& p : Params()) {
+    for (size_t i = 0; i < p.size; ++i) p.value[i] = in[off + i];
+    off += p.size;
+  }
+}
+
+void Sequential::CopyGradsTo(float* out) {
+  size_t off = 0;
+  for (auto& p : Params()) {
+    for (size_t i = 0; i < p.size; ++i) out[off + i] = p.grad[i];
+    off += p.size;
+  }
+}
+
+std::vector<float> Sequential::FlatParams() {
+  std::vector<float> v(NumParams());
+  CopyParamsTo(v.data());
+  return v;
+}
+
+std::vector<float> Sequential::FlatGrads() {
+  std::vector<float> v(NumParams());
+  CopyGradsTo(v.data());
+  return v;
+}
+
+Residual::Residual(std::unique_ptr<Sequential> body)
+    : body_(std::move(body)) {
+  DPBR_CHECK(body_ != nullptr);
+}
+
+Tensor Residual::Forward(const Tensor& x) {
+  Tensor y = body_->Forward(x);
+  DPBR_CHECK(y.SameShape(x));
+  for (size_t i = 0; i < y.size(); ++i) y[i] += x[i];
+  return y;
+}
+
+Tensor Residual::Backward(const Tensor& grad_out) {
+  Tensor dx = body_->Backward(grad_out);
+  DPBR_CHECK(dx.SameShape(grad_out));
+  for (size_t i = 0; i < dx.size(); ++i) dx[i] += grad_out[i];
+  return dx;
+}
+
+std::vector<ParamView> Residual::Params() { return body_->Params(); }
+
+void Residual::InitParams(SplitRng* rng) { body_->InitParams(rng); }
+
+}  // namespace nn
+}  // namespace dpbr

@@ -1,0 +1,77 @@
+// Sequential container and residual block; plus the flat parameter-vector
+// bridge the FL protocol needs (models are broadcast and updated as flat
+// float vectors of dimension d).
+
+#ifndef DPBR_NN_SEQUENTIAL_H_
+#define DPBR_NN_SEQUENTIAL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace dpbr {
+namespace nn {
+
+/// Chain of layers applied in order.
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer (builder style).
+  Sequential& Add(LayerPtr layer);
+
+  Tensor Forward(const Tensor& x) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::vector<ParamView> Params() override;
+  void InitParams(SplitRng* rng) override;
+  std::string name() const override { return "Sequential"; }
+
+  size_t num_layers() const { return layers_.size(); }
+  Layer* layer(size_t i) { return layers_[i].get(); }
+
+  // --- flat parameter bridge (dimension d = NumParams()) ---
+
+  /// Copies all parameters into `out` (size must be NumParams()).
+  void CopyParamsTo(float* out);
+
+  /// Overwrites all parameters from `in`.
+  void SetParamsFrom(const float* in);
+
+  /// Copies all accumulated gradients into `out`.
+  void CopyGradsTo(float* out);
+
+  /// Convenience vector versions.
+  std::vector<float> FlatParams();
+  std::vector<float> FlatGrads();
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+/// Residual wrapper: y = x + body(x). Requires body to preserve shape
+/// (the paper's Colorectal CNN uses one residual connection).
+class Residual : public Layer {
+ public:
+  explicit Residual(std::unique_ptr<Sequential> body);
+
+  Tensor Forward(const Tensor& x) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::vector<ParamView> Params() override;
+  void InitParams(SplitRng* rng) override;
+  std::string name() const override { return "Residual"; }
+
+ private:
+  std::unique_ptr<Sequential> body_;
+};
+
+/// Factory producing fresh, identically-structured models; each federated
+/// worker instantiates its own copy and syncs parameters by flat vector.
+using ModelFactory = std::function<std::unique_ptr<Sequential>()>;
+
+}  // namespace nn
+}  // namespace dpbr
+
+#endif  // DPBR_NN_SEQUENTIAL_H_

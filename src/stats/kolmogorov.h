@@ -1,0 +1,39 @@
+// The Kolmogorov-Smirnov sampling distribution.
+//
+// The paper's first-stage aggregation (Algorithm 2) rejects uploads whose
+// KS p-value against N(0, σ_up²) falls below 0.05 and cites Kolmogorov
+// [38] and Marsaglia-Tsang-Wang [44] for the distribution of the
+// D statistic; both methods are implemented here.
+
+#ifndef DPBR_STATS_KOLMOGOROV_H_
+#define DPBR_STATS_KOLMOGOROV_H_
+
+#include <cstddef>
+
+namespace dpbr {
+namespace stats {
+
+/// Exact CDF Pr(D_n < d) of the one-sample two-sided KS statistic for
+/// sample size n, via the Marsaglia-Tsang-Wang (2003) matrix method.
+/// Cost O(k^3 log n) with k = ceil(n*d) + 1; intended for n <= ~1000.
+double KolmogorovCdfExact(size_t n, double d);
+
+/// Asymptotic Kolmogorov distribution:
+///   K(λ) = 1 - 2 Σ_{k>=1} (-1)^{k-1} exp(-2 k² λ²).
+/// Pr(√n·D_n <= λ) → K(λ). Accurate for n ≳ 100 with the Stephens
+/// finite-n correction applied by KsPValue.
+double KolmogorovAsymptoticCdf(double lambda);
+
+/// Two-sided p-value Pr(D >= d) for sample size n. Uses the exact matrix
+/// method for small n and the Stephens-corrected asymptotic otherwise
+/// (λ = (√n + 0.12 + 0.11/√n)·d).
+double KsPValue(size_t n, double d);
+
+/// Critical value d such that KsPValue(n, d) == alpha (bisection on the
+/// monotone p-value). Used by Theorem 2's envelope computation.
+double KsCriticalValue(size_t n, double alpha);
+
+}  // namespace stats
+}  // namespace dpbr
+
+#endif  // DPBR_STATS_KOLMOGOROV_H_

@@ -1,0 +1,73 @@
+#include "stats/ks_test.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "stats/distributions.h"
+#include "stats/kolmogorov.h"
+
+namespace dpbr {
+namespace stats {
+namespace {
+
+// Computes D from sorted CDF values u_i = F(x_(i)):
+//   D = max_i max( i/n - u_i, u_i - (i-1)/n ).
+template <typename It>
+double DStatisticFromSortedCdfValues(It begin, It end) {
+  size_t n = static_cast<size_t>(end - begin);
+  DPBR_CHECK_GT(n, 0u);
+  double d = 0.0;
+  size_t i = 0;
+  double inv_n = 1.0 / static_cast<double>(n);
+  for (It it = begin; it != end; ++it, ++i) {
+    double u = *it;
+    double above = static_cast<double>(i + 1) * inv_n - u;
+    double below = u - static_cast<double>(i) * inv_n;
+    if (above > d) d = above;
+    if (below > d) d = below;
+  }
+  return d;
+}
+
+}  // namespace
+
+KsResult KsTest(const std::vector<double>& sample,
+                const std::function<double(double)>& cdf) {
+  DPBR_CHECK_GT(sample.size(), 0u);
+  std::vector<double> sorted = sample;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> u(sorted.size());
+  for (size_t i = 0; i < sorted.size(); ++i) u[i] = cdf(sorted[i]);
+  KsResult r;
+  r.n = sample.size();
+  r.statistic = DStatisticFromSortedCdfValues(u.begin(), u.end());
+  r.p_value = KsPValue(r.n, r.statistic);
+  return r;
+}
+
+KsResult KsTestGaussian(const float* data, size_t n, double stddev) {
+  DPBR_CHECK_GT(n, 0u);
+  DPBR_CHECK_GT(stddev, 0.0);
+  // Sorting raw values then evaluating Φ preserves order (Φ is monotone),
+  // so we can sort floats (cheaper) and map once.
+  std::vector<float> sorted(data, data + n);
+  std::sort(sorted.begin(), sorted.end());
+  double inv_sigma = 1.0 / stddev;
+  std::vector<double> u(n);
+  for (size_t i = 0; i < n; ++i) {
+    u[i] = NormalCdf(static_cast<double>(sorted[i]) * inv_sigma);
+  }
+  KsResult r;
+  r.n = n;
+  r.statistic = DStatisticFromSortedCdfValues(u.begin(), u.end());
+  r.p_value = KsPValue(n, r.statistic);
+  return r;
+}
+
+KsResult KsTestGaussian(const std::vector<float>& data, double stddev) {
+  return KsTestGaussian(data.data(), data.size(), stddev);
+}
+
+}  // namespace stats
+}  // namespace dpbr

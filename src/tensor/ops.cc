@@ -1,0 +1,126 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dpbr {
+namespace ops {
+
+void Axpy(float alpha, const float* x, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void Scale(float alpha, float* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+double Dot(const float* x, const float* y, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += static_cast<double>(x[i]) * y[i];
+  return s;
+}
+
+double SquaredNorm(const float* x, size_t n) { return Dot(x, x, n); }
+
+double Norm(const float* x, size_t n) { return std::sqrt(SquaredNorm(x, n)); }
+
+double NormalizeInPlace(float* x, size_t n, double eps) {
+  double nrm = Norm(x, n);
+  double denom = std::max(nrm, eps);
+  float inv = static_cast<float>(1.0 / denom);
+  Scale(inv, x, n);
+  return nrm;
+}
+
+void MatVec(const float* a, const float* x, float* out, size_t rows,
+            size_t cols) {
+  for (size_t r = 0; r < rows; ++r) {
+    double s = 0.0;
+    const float* row = a + r * cols;
+    for (size_t c = 0; c < cols; ++c) s += static_cast<double>(row[c]) * x[c];
+    out[r] = static_cast<float>(s);
+  }
+}
+
+void MatVecTransposed(const float* a, const float* x, float* out, size_t rows,
+                      size_t cols) {
+  for (size_t c = 0; c < cols; ++c) out[c] = 0.0f;
+  for (size_t r = 0; r < rows; ++r) {
+    const float* row = a + r * cols;
+    float xr = x[r];
+    for (size_t c = 0; c < cols; ++c) out[c] += xr * row[c];
+  }
+}
+
+void Ger(float alpha, const float* u, const float* v, float* a, size_t rows,
+         size_t cols) {
+  for (size_t r = 0; r < rows; ++r) {
+    float au = alpha * u[r];
+    float* row = a + r * cols;
+    for (size_t c = 0; c < cols; ++c) row[c] += au * v[c];
+  }
+}
+
+void MatMul(const float* a, const float* b, float* c, size_t m, size_t k,
+            size_t n) {
+  for (size_t i = 0; i < m * n; ++i) c[i] = 0.0f;
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t p = 0; p < k; ++p) {
+      float aip = a[i * k + p];
+      const float* brow = b + p * n;
+      float* crow = c + i * n;
+      for (size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+    }
+  }
+}
+
+std::vector<float> Add(const std::vector<float>& x,
+                       const std::vector<float>& y) {
+  DPBR_CHECK_EQ(x.size(), y.size());
+  std::vector<float> out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) out[i] = x[i] + y[i];
+  return out;
+}
+
+std::vector<float> Sub(const std::vector<float>& x,
+                       const std::vector<float>& y) {
+  DPBR_CHECK_EQ(x.size(), y.size());
+  std::vector<float> out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) out[i] = x[i] - y[i];
+  return out;
+}
+
+std::vector<float> Scaled(const std::vector<float>& x, float alpha) {
+  std::vector<float> out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) out[i] = alpha * x[i];
+  return out;
+}
+
+double Dot(const std::vector<float>& x, const std::vector<float>& y) {
+  DPBR_CHECK_EQ(x.size(), y.size());
+  return Dot(x.data(), y.data(), x.size());
+}
+
+double Norm(const std::vector<float>& x) { return Norm(x.data(), x.size()); }
+
+double CosineSimilarity(const std::vector<float>& x,
+                        const std::vector<float>& y) {
+  double nx = Norm(x), ny = Norm(y);
+  if (nx == 0.0 || ny == 0.0) return 0.0;
+  return Dot(x, y) / (nx * ny);
+}
+
+std::vector<float> MeanOf(const std::vector<std::vector<float>>& vs) {
+  if (vs.empty()) return {};
+  std::vector<float> out(vs[0].size(), 0.0f);
+  for (const auto& v : vs) {
+    DPBR_CHECK_EQ(v.size(), out.size());
+    Axpy(1.0f, v.data(), out.data(), out.size());
+  }
+  Scale(1.0f / static_cast<float>(vs.size()), out.data(), out.size());
+  return out;
+}
+
+}  // namespace ops
+}  // namespace dpbr

@@ -1,0 +1,70 @@
+// Free-function numeric kernels on flat float spans and Tensors.
+//
+// Aggregation rules operate on flat gradient vectors (std::vector<float>),
+// so most kernels take raw (ptr, size) pairs usable by both Tensor and
+// vector callers.
+
+#ifndef DPBR_TENSOR_OPS_H_
+#define DPBR_TENSOR_OPS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dpbr {
+namespace ops {
+
+/// y += alpha * x
+void Axpy(float alpha, const float* x, float* y, size_t n);
+
+/// x *= alpha
+void Scale(float alpha, float* x, size_t n);
+
+/// Σ x_i y_i (double accumulator).
+double Dot(const float* x, const float* y, size_t n);
+
+/// ℓ2 norm (double accumulator).
+double Norm(const float* x, size_t n);
+
+/// Squared ℓ2 norm.
+double SquaredNorm(const float* x, size_t n);
+
+/// x /= max(‖x‖, eps): normalizes to unit length. Returns original norm.
+double NormalizeInPlace(float* x, size_t n, double eps = 1e-12);
+
+/// out = A·x for row-major A (rows x cols), x (cols), out (rows).
+void MatVec(const float* a, const float* x, float* out, size_t rows,
+            size_t cols);
+
+/// out = Aᵀ·x for row-major A (rows x cols), x (rows), out (cols).
+void MatVecTransposed(const float* a, const float* x, float* out, size_t rows,
+                      size_t cols);
+
+/// A += alpha * outer(u, v): rank-1 update of row-major A (rows x cols).
+void Ger(float alpha, const float* u, const float* v, float* a, size_t rows,
+         size_t cols);
+
+/// C = A·B for row-major A (m x k), B (k x n), C (m x n).
+void MatMul(const float* a, const float* b, float* c, size_t m, size_t k,
+            size_t n);
+
+// --- vector<float> conveniences for aggregation code ---
+
+std::vector<float> Add(const std::vector<float>& x,
+                       const std::vector<float>& y);
+std::vector<float> Sub(const std::vector<float>& x,
+                       const std::vector<float>& y);
+std::vector<float> Scaled(const std::vector<float>& x, float alpha);
+double Dot(const std::vector<float>& x, const std::vector<float>& y);
+double Norm(const std::vector<float>& x);
+double CosineSimilarity(const std::vector<float>& x,
+                        const std::vector<float>& y);
+
+/// Mean of a set of equally-sized vectors; empty input yields empty.
+std::vector<float> MeanOf(const std::vector<std::vector<float>>& vs);
+
+}  // namespace ops
+}  // namespace dpbr
+
+#endif  // DPBR_TENSOR_OPS_H_

@@ -1,0 +1,86 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dpbr {
+namespace {
+
+Flags ParseArgs(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  argv.push_back(const_cast<char*>("prog"));
+  for (auto& s : storage) argv.push_back(const_cast<char*>(s.c_str()));
+  return Flags::Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  Flags f = ParseArgs({"--eps=0.5", "--name=abc"});
+  EXPECT_DOUBLE_EQ(f.GetDouble("eps", 0), 0.5);
+  EXPECT_EQ(f.GetString("name", ""), "abc");
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  Flags f = ParseArgs({"--eps", "0.5", "--count", "7"});
+  EXPECT_DOUBLE_EQ(f.GetDouble("eps", 0), 0.5);
+  EXPECT_EQ(f.GetInt("count", 0), 7);
+}
+
+TEST(FlagsTest, BareFlagIsTrue) {
+  Flags f = ParseArgs({"--verbose"});
+  EXPECT_TRUE(f.GetBool("verbose", false));
+}
+
+TEST(FlagsTest, BoolParsing) {
+  Flags f = ParseArgs({"--a=true", "--b=0", "--c=yes", "--d=off"});
+  EXPECT_TRUE(f.GetBool("a", false));
+  EXPECT_FALSE(f.GetBool("b", true));
+  EXPECT_TRUE(f.GetBool("c", false));
+  EXPECT_FALSE(f.GetBool("d", true));
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  Flags f = ParseArgs({});
+  EXPECT_EQ(f.GetInt("missing", 9), 9);
+  EXPECT_DOUBLE_EQ(f.GetDouble("missing", 1.5), 1.5);
+  EXPECT_EQ(f.GetString("missing", "x"), "x");
+  EXPECT_FALSE(f.Has("missing"));
+}
+
+TEST(FlagsTest, PositionalCollected) {
+  Flags f = ParseArgs({"run", "--eps=1", "fast"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "run");
+  EXPECT_EQ(f.positional()[1], "fast");
+}
+
+TEST(FlagsTest, MalformedIntFallsBack) {
+  Flags f = ParseArgs({"--n=abc"});
+  EXPECT_EQ(f.GetInt("n", 3), 3);
+}
+
+TEST(FlagsTest, StrictIntErrors) {
+  Flags f = ParseArgs({"--n=abc"});
+  auto r = f.GetIntOrStatus("n", 3);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  Flags g = ParseArgs({"--n=12"});
+  auto r2 = g.GetIntOrStatus("n", 3);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value(), 12);
+}
+
+TEST(FlagsTest, DoubleList) {
+  Flags f = ParseArgs({"--eps=0.125,0.25,2"});
+  std::vector<double> v = f.GetDoubleList("eps", {});
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 0.125);
+  EXPECT_DOUBLE_EQ(v[2], 2.0);
+  std::vector<double> d = f.GetDoubleList("missing", {1.0});
+  ASSERT_EQ(d.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dpbr

@@ -1,0 +1,163 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace dpbr {
+namespace {
+
+TEST(SplitRngTest, SameSeedSameSequence) {
+  SplitRng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(SplitRngTest, DifferentSeedsDiffer) {
+  SplitRng a(7), b(8);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next64() == b.Next64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(SplitRngTest, StreamIdsDeriveIndependentStreams) {
+  SplitRng a(7, {1, 2}), b(7, {1, 3}), c(7, {1, 2});
+  EXPECT_EQ(a.Next64(), c.Next64());
+  SplitRng a2(7, {1, 2});
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a2.Next64() == b.Next64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(SplitRngTest, SplitDoesNotAdvanceParent) {
+  SplitRng a(7);
+  uint64_t before = SplitRng(7).Next64();
+  SplitRng child = a.Split(9);
+  (void)child;
+  EXPECT_EQ(a.Next64(), before);
+}
+
+TEST(SplitRngTest, SplitChildrenDiffer) {
+  SplitRng a(7);
+  SplitRng c1 = a.Split(1);
+  SplitRng c2 = a.Split(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (c1.Next64() == c2.Next64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(SplitRngTest, UniformInUnitInterval) {
+  SplitRng rng(1);
+  double sum = 0.0;
+  const int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    double u = rng.Uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  // Mean of U(0,1) is 0.5 with std 1/sqrt(12 n) ≈ 0.002.
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(SplitRngTest, UniformIntRangeAndCoverage) {
+  SplitRng rng(2);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.UniformInt(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(SplitRngTest, GaussianMoments) {
+  SplitRng rng(3);
+  const int kN = 50000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    double g = rng.Gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  double mean = sum / kN;
+  double var = sum2 / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(SplitRngTest, GaussianScaled) {
+  SplitRng rng(4);
+  const int kN = 50000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    double g = rng.Gaussian(5.0, 2.0);
+    sum += g;
+    sum2 += g * g;
+  }
+  double mean = sum / kN;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(sum2 / kN - mean * mean, 4.0, 0.15);
+}
+
+TEST(SplitRngTest, FillGaussianMatchesStd) {
+  SplitRng rng(5);
+  std::vector<float> buf(40000);
+  rng.FillGaussian(buf.data(), buf.size(), 3.0);
+  double sum2 = 0.0;
+  for (float v : buf) sum2 += static_cast<double>(v) * v;
+  EXPECT_NEAR(std::sqrt(sum2 / buf.size()), 3.0, 0.05);
+}
+
+TEST(SplitRngTest, PermutationIsValid) {
+  SplitRng rng(6);
+  std::vector<size_t> p = rng.Permutation(100);
+  std::vector<size_t> sorted = p;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+  // Not the identity (probability 1/100! of false failure).
+  EXPECT_NE(p, sorted);
+}
+
+TEST(SplitRngTest, SampleWithoutReplacementUniqueAndInRange) {
+  SplitRng rng(7);
+  std::vector<size_t> s = rng.SampleWithoutReplacement(50, 20);
+  ASSERT_EQ(s.size(), 20u);
+  std::set<size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 20u);
+  for (size_t v : s) EXPECT_LT(v, 50u);
+}
+
+TEST(SplitRngTest, SampleWithoutReplacementFullSet) {
+  SplitRng rng(8);
+  std::vector<size_t> s = rng.SampleWithoutReplacement(10, 10);
+  std::set<size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 10u);
+}
+
+// Property sweep: every (seed, stream) pair reproduces itself exactly.
+class RngDeterminismTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngDeterminismTest, GaussianStreamReproducible) {
+  uint64_t seed = GetParam();
+  SplitRng a(seed, {11, 22});
+  SplitRng b(seed, {11, 22});
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(a.Gaussian(), b.Gaussian());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngDeterminismTest,
+                         ::testing::Values(0, 1, 2, 3, 17, 123456789,
+                                           0xffffffffffffffffULL));
+
+}  // namespace
+}  // namespace dpbr

@@ -1,0 +1,38 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dpbr {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "acc"});
+  t.AddRow({"synth_mnist", "0.96"});
+  t.AddRow({"m", "0.8"});
+  std::ostringstream os;
+  t.Print(os);
+  std::string out = os.str();
+  // Header, separator, two rows.
+  EXPECT_NE(out.find("| name        | acc  |"), std::string::npos);
+  EXPECT_NE(out.find("| synth_mnist | 0.96 |"), std::string::npos);
+  EXPECT_NE(out.find("| m           | 0.8  |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::Num(0.8567, 3), "0.857");
+  EXPECT_EQ(TablePrinter::Num(1.0, 1), "1.0");
+  EXPECT_EQ(TablePrinter::Num(-0.05, 2), "-0.05");
+}
+
+TEST(TablePrinterTest, CountsRows) {
+  TablePrinter t({"a"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({"1"});
+  t.AddRow({"2"});
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace dpbr

@@ -1,0 +1,82 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dpbr {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(pool, 0, hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  ParallelFor(pool, 5, 5, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, ComputesSameResultAsSerial) {
+  // The FL trainer depends on this: per-index RNG streams make parallel
+  // execution bit-identical to serial execution.
+  const size_t kN = 64;
+  std::vector<double> serial(kN), parallel(kN);
+  for (size_t i = 0; i < kN; ++i) {
+    SplitRng rng(42, {i});
+    serial[i] = rng.Gaussian();
+  }
+  ThreadPool pool(8);
+  ParallelFor(pool, 0, kN, [&](size_t i) {
+    SplitRng rng(42, {i});
+    parallel[i] = rng.Gaussian();
+  });
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelForTest, GlobalPoolWorks) {
+  std::vector<int> out(100, 0);
+  ParallelFor(0, out.size(), [&](size_t i) { out[i] = static_cast<int>(i); });
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i));
+  }
+}
+
+TEST(ParallelForTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  ParallelFor(pool, 0, 5, [&](size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace dpbr

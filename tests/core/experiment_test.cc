@@ -1,0 +1,136 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace dpbr {
+namespace core {
+namespace {
+
+TEST(MakeAttackTest, AllNamesResolve) {
+  for (const char* name : {"gaussian", "label_flip", "opt_lmp", "a_little",
+                           "inner_product"}) {
+    ExperimentConfig c;
+    c.attack = name;
+    auto a = MakeAttack(c);
+    ASSERT_TRUE(a.ok()) << name;
+    EXPECT_NE(a.value(), nullptr);
+  }
+  ExperimentConfig none;
+  none.attack = "none";
+  auto a = MakeAttack(none);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value(), nullptr);
+}
+
+TEST(MakeAttackTest, UnknownNameFails) {
+  ExperimentConfig c;
+  c.attack = "quantum_flip";
+  EXPECT_EQ(MakeAttack(c).status().code(), StatusCode::kNotFound);
+}
+
+TEST(MakeAttackTest, TtbbWrapsAdaptive) {
+  ExperimentConfig c;
+  c.attack = "gaussian";
+  c.ttbb = 0.4;
+  auto a = MakeAttack(c);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value()->name(), "adaptive(gaussian)");
+  c.ttbb = 1.5;
+  EXPECT_FALSE(MakeAttack(c).ok());
+  c.attack = "none";
+  c.ttbb = 0.4;
+  EXPECT_FALSE(MakeAttack(c).ok());
+}
+
+TEST(MakeAggregatorTest, AllNamesResolve) {
+  for (const char* name :
+       {"dpbr", "mean", "krum", "multi_krum", "coordinate_median",
+        "trimmed_mean", "rfa", "fltrust", "sign_sgd", "norm_bound"}) {
+    ExperimentConfig c;
+    c.aggregator = name;
+    auto a = MakeAggregator(c);
+    ASSERT_TRUE(a.ok()) << name;
+    EXPECT_NE(a.value(), nullptr);
+  }
+  ExperimentConfig c;
+  c.aggregator = "wishful_thinking";
+  EXPECT_EQ(MakeAggregator(c).status().code(), StatusCode::kNotFound);
+}
+
+TEST(MakeAggregatorTest, DpbrAblationFlagsValidated) {
+  ExperimentConfig c;
+  c.aggregator = "dpbr";
+  c.first_stage = false;
+  c.second_stage = false;
+  EXPECT_FALSE(MakeAggregator(c).ok());
+}
+
+// A deliberately tiny configuration shared by the end-to-end checks.
+ExperimentConfig TinyConfig() {
+  ExperimentConfig c;
+  c.dataset = "synth_usps";  // smallest of the 10-class benchmarks
+  c.epsilon = 2.0;
+  c.num_honest = 5;
+  c.epochs = 1;
+  c.seeds = {1};
+  return c;
+}
+
+TEST(RunExperimentTest, TinyRunProducesHistory) {
+  auto r = RunExperiment(TinyConfig());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().histories.size(), 1u);
+  EXPECT_EQ(r.value().accuracy.count(), 1u);
+  EXPECT_GT(r.value().sigma, 0.0);
+  EXPECT_GT(r.value().learning_rate, 0.0);
+}
+
+TEST(RunExperimentTest, UnknownDatasetFails) {
+  ExperimentConfig c = TinyConfig();
+  c.dataset = "mnist_original";
+  EXPECT_EQ(RunExperiment(c).status().code(), StatusCode::kNotFound);
+}
+
+TEST(RunExperimentTest, NeedsSeeds) {
+  ExperimentConfig c = TinyConfig();
+  c.seeds = {};
+  EXPECT_FALSE(RunExperiment(c).ok());
+}
+
+TEST(RunExperimentTest, MultipleSeedsAggregateStats) {
+  ExperimentConfig c = TinyConfig();
+  c.seeds = {1, 2};
+  auto r = RunExperiment(c);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().accuracy.count(), 2u);
+  EXPECT_EQ(r.value().histories.size(), 2u);
+}
+
+TEST(RunExperimentTest, OodAuxValidatesCompatibility) {
+  ExperimentConfig c = TinyConfig();
+  c.dataset = "synth_mnist";
+  c.num_honest = 5;
+  c.ood_aux_dataset = "synth_kmnist";
+  auto r = RunExperiment(c);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+
+  // synth_colorectal has 8 < 10 classes: cannot supply MNIST-task aux.
+  c.ood_aux_dataset = "synth_colorectal";
+  EXPECT_FALSE(RunExperiment(c).ok());
+}
+
+TEST(RunReferenceTest, StripsAttackAndDefense) {
+  ExperimentConfig c = TinyConfig();
+  c.attack = "opt_lmp";
+  c.num_byzantine = 20;
+  c.aggregator = "dpbr";
+  auto r = RunReference(c);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Reference = DP + mean + no Byzantine: learns at least a little even
+  // in one epoch.
+  EXPECT_GT(r.value().accuracy.mean(), 0.1);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace dpbr

@@ -1,0 +1,145 @@
+#include "data/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "stats/summary.h"
+
+namespace dpbr {
+namespace data {
+namespace {
+
+std::vector<int> MakeLabels(size_t n, size_t classes, uint64_t seed) {
+  SplitRng rng(seed);
+  std::vector<int> labels(n);
+  for (auto& l : labels) l = static_cast<int>(rng.UniformInt(classes));
+  return labels;
+}
+
+void ExpectDisjointCover(const std::vector<std::vector<size_t>>& shards,
+                         size_t n) {
+  std::set<size_t> seen;
+  size_t total = 0;
+  for (const auto& s : shards) {
+    for (size_t idx : s) {
+      EXPECT_LT(idx, n);
+      EXPECT_TRUE(seen.insert(idx).second) << "duplicate index " << idx;
+    }
+    total += s.size();
+  }
+  EXPECT_EQ(total, n);
+}
+
+TEST(PartitionIidTest, DisjointCoverBalancedSizes) {
+  SplitRng rng(1);
+  auto p = PartitionIid(103, 10, &rng);
+  ASSERT_TRUE(p.ok());
+  ExpectDisjointCover(p.value(), 103);
+  size_t mn = 1000, mx = 0;
+  for (const auto& s : p.value()) {
+    mn = std::min(mn, s.size());
+    mx = std::max(mx, s.size());
+  }
+  EXPECT_LE(mx - mn, 1u);
+}
+
+TEST(PartitionIidTest, Validation) {
+  SplitRng rng(1);
+  EXPECT_FALSE(PartitionIid(10, 0, &rng).ok());
+  EXPECT_FALSE(PartitionIid(5, 10, &rng).ok());
+}
+
+TEST(PartitionNonIidTest, DisjointCover) {
+  SplitRng rng(2);
+  std::vector<int> labels = MakeLabels(1000, 10, 3);
+  auto p = PartitionNonIid(labels, 10, 20, &rng);
+  ASSERT_TRUE(p.ok());
+  ExpectDisjointCover(p.value(), 1000);
+  for (const auto& s : p.value()) EXPECT_FALSE(s.empty());
+}
+
+TEST(PartitionNonIidTest, ProducesSkewedLabelDistributions) {
+  // Figure 5's property: per-worker class proportions vary widely under
+  // Algorithm 4 but are near-uniform under the i.i.d. dealer.
+  const size_t kN = 4000, kClasses = 10, kWorkers = 20;
+  std::vector<int> labels = MakeLabels(kN, kClasses, 4);
+  SplitRng rng_a(5), rng_b(5);
+  auto non_iid = PartitionNonIid(labels, kClasses, kWorkers, &rng_a);
+  auto iid = PartitionIid(kN, kWorkers, &rng_b);
+  ASSERT_TRUE(non_iid.ok());
+  ASSERT_TRUE(iid.ok());
+
+  auto class_fraction_spread = [&](const std::vector<std::vector<size_t>>& p) {
+    // Std across workers of the fraction of class 0 in each shard.
+    std::vector<double> fracs;
+    for (const auto& shard : p) {
+      size_t c0 = 0;
+      for (size_t idx : shard) {
+        if (labels[idx] == 0) ++c0;
+      }
+      fracs.push_back(static_cast<double>(c0) / shard.size());
+    }
+    return stats::StdDev(fracs);
+  };
+  double spread_non_iid = class_fraction_spread(non_iid.value());
+  double spread_iid = class_fraction_spread(iid.value());
+  // Algorithm 4's per-class random fractions give a spread several times
+  // the i.i.d. sampling noise (√(p(1-p)/shard) ≈ 0.02 here).
+  EXPECT_GT(spread_non_iid, 2.0 * spread_iid);
+  EXPECT_GT(spread_non_iid, 0.05);
+}
+
+TEST(PartitionNonIidTest, DeterministicGivenRngState) {
+  std::vector<int> labels = MakeLabels(500, 5, 6);
+  SplitRng a(7), b(7);
+  auto pa = PartitionNonIid(labels, 5, 8, &a);
+  auto pb = PartitionNonIid(labels, 5, 8, &b);
+  ASSERT_TRUE(pa.ok());
+  ASSERT_TRUE(pb.ok());
+  EXPECT_EQ(pa.value(), pb.value());
+}
+
+TEST(SampleAuxiliaryTest, PerClassCounts) {
+  std::vector<int> labels = MakeLabels(500, 10, 8);
+  SplitRng rng(9);
+  auto aux = SampleAuxiliaryIndices(labels, 10, 2, &rng);
+  ASSERT_TRUE(aux.ok());
+  // 2 per class → 20 samples (paper: "for MNIST, 20 auxiliary samples").
+  EXPECT_EQ(aux.value().size(), 20u);
+  std::vector<size_t> per_class(10, 0);
+  std::set<size_t> uniq;
+  for (size_t idx : aux.value()) {
+    per_class[static_cast<size_t>(labels[idx])]++;
+    EXPECT_TRUE(uniq.insert(idx).second);
+  }
+  for (size_t c = 0; c < 10; ++c) EXPECT_EQ(per_class[c], 2u);
+}
+
+TEST(SampleAuxiliaryTest, FailsWhenClassTooSmall) {
+  std::vector<int> labels = {0, 0, 0, 1};  // class 1 has one example
+  SplitRng rng(10);
+  auto aux = SampleAuxiliaryIndices(labels, 2, 2, &rng);
+  EXPECT_FALSE(aux.ok());
+  EXPECT_EQ(aux.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(MakeShardsTest, ViewsMatchPartition) {
+  Dataset d(1, {1}, 2);
+  for (int i = 0; i < 6; ++i) {
+    float f = static_cast<float>(i);
+    d.Append(&f, i % 2);
+  }
+  std::vector<std::vector<size_t>> part = {{0, 2}, {1, 3, 5}, {4}};
+  std::vector<DatasetView> shards = MakeShards(&d, part);
+  ASSERT_EQ(shards.size(), 3u);
+  EXPECT_EQ(shards[0].size(), 2u);
+  EXPECT_EQ(shards[1].size(), 3u);
+  EXPECT_FLOAT_EQ(shards[2].FeaturesAt(0)[0], 4.0f);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace dpbr

@@ -1,0 +1,52 @@
+#include "dp/gaussian_mechanism.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace dpbr {
+namespace dp {
+namespace {
+
+TEST(ClassicSigmaTest, KnownFormula) {
+  // σ = Δ√(2 ln(1.25/δ))/ε.
+  auto s = ClassicGaussianSigma(2.0, 0.5, 1e-5);
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s.value(), 2.0 * std::sqrt(2.0 * std::log(1.25e5)) / 0.5,
+              1e-12);
+}
+
+TEST(ClassicSigmaTest, Validation) {
+  EXPECT_FALSE(ClassicGaussianSigma(0.0, 0.5, 1e-5).ok());
+  EXPECT_FALSE(ClassicGaussianSigma(1.0, 0.0, 1e-5).ok());
+  EXPECT_FALSE(ClassicGaussianSigma(1.0, 1.5, 1e-5).ok());  // ε > 1
+  EXPECT_FALSE(ClassicGaussianSigma(1.0, 0.5, 0.0).ok());
+  EXPECT_FALSE(ClassicGaussianSigma(1.0, 0.5, 1.0).ok());
+}
+
+TEST(PerturbTest, AddsNoiseOfRightMagnitude) {
+  SplitRng rng(5);
+  std::vector<float> v(20000, 1.0f);
+  PerturbInPlace(v.data(), v.size(), 2.0, &rng);
+  double sum = 0.0, sum2 = 0.0;
+  for (float x : v) {
+    sum += x;
+    sum2 += static_cast<double>(x) * x;
+  }
+  double mean = sum / v.size();
+  double var = sum2 / v.size() - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(PerturbTest, ZeroSigmaIsIdentity) {
+  SplitRng rng(6);
+  std::vector<float> v = {1.0f, 2.0f, 3.0f};
+  PerturbInPlace(v.data(), v.size(), 0.0, &rng);
+  EXPECT_EQ(v, (std::vector<float>{1.0f, 2.0f, 3.0f}));
+}
+
+}  // namespace
+}  // namespace dp
+}  // namespace dpbr

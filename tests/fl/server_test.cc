@@ -1,0 +1,99 @@
+#include "fl/server.h"
+
+#include <gtest/gtest.h>
+
+#include "aggregators/fltrust.h"
+#include "aggregators/mean.h"
+#include "data/synthetic.h"
+#include "nn/loss.h"
+#include "nn/model_zoo.h"
+#include "tensor/ops.h"
+
+namespace dpbr {
+namespace fl {
+namespace {
+
+data::DatasetBundle SmallBundle() {
+  data::SyntheticSpec spec;
+  spec.num_classes = 4;
+  spec.feature_dim = 16;
+  spec.train_size = 100;
+  spec.val_size = 40;
+  spec.test_size = 100;
+  spec.class_separation = 3.0;
+  spec.noise_std = 0.5;
+  auto b = data::GenerateSynthetic(spec, 6);
+  EXPECT_TRUE(b.ok());
+  return std::move(b).value();
+}
+
+TEST(ServerTest, InitializesParams) {
+  data::DatasetBundle bundle = SmallBundle();
+  Server s(nn::MlpFactory(16, 8, 4), std::make_unique<agg::MeanAggregator>(),
+           data::DatasetView(), 1);
+  EXPECT_EQ(s.dim(), nn::MakeMlp(16, 8, 4)->NumParams());
+  EXPECT_GT(ops::Norm(s.params()), 0.0);  // He init, not zeros
+}
+
+TEST(ServerTest, StepAppliesScaledUpdate) {
+  Server s(nn::MlpFactory(16, 8, 4), std::make_unique<agg::MeanAggregator>(),
+           data::DatasetView(), 1);
+  std::vector<float> before = s.params();
+  std::vector<float> direction(s.dim(), 1.0f);
+  agg::AggregationContext ctx;
+  ASSERT_TRUE(s.Step({direction, direction}, 0.5, ctx).ok());
+  for (size_t i = 0; i < s.dim(); ++i) {
+    EXPECT_FLOAT_EQ(s.params()[i], before[i] - 0.5f);
+  }
+}
+
+TEST(ServerTest, ServerGradientMatchesManualComputation) {
+  data::DatasetBundle bundle = SmallBundle();
+  data::DatasetView aux(&bundle.val, {0, 1, 2});
+  nn::ModelFactory f = nn::MlpFactory(16, 8, 4);
+  Server s(f, std::make_unique<agg::FlTrustAggregator>(), aux, 2);
+
+  auto grad = s.ComputeServerGradient();
+  ASSERT_TRUE(grad.ok());
+
+  // Manual: mean per-example gradient at the server params.
+  auto model = f();
+  model->SetParamsFrom(s.params().data());
+  std::vector<float> acc(s.dim(), 0.0f);
+  for (size_t i = 0; i < aux.size(); ++i) {
+    model->ZeroGrad();
+    Tensor logits = model->Forward(aux.ExampleTensor(i));
+    nn::LossGrad lg = nn::SoftmaxCrossEntropy(
+        logits, static_cast<size_t>(aux.LabelAt(i)));
+    model->Backward(lg.grad_logits);
+    std::vector<float> g = model->FlatGrads();
+    ops::Axpy(1.0f, g.data(), acc.data(), acc.size());
+  }
+  ops::Scale(1.0f / 3.0f, acc.data(), acc.size());
+  ASSERT_EQ(grad.value().size(), acc.size());
+  for (size_t i = 0; i < acc.size(); ++i) {
+    EXPECT_NEAR(grad.value()[i], acc[i], 1e-5);
+  }
+}
+
+TEST(ServerTest, MissingAuxDataIsAnError) {
+  Server s(nn::MlpFactory(16, 8, 4),
+           std::make_unique<agg::FlTrustAggregator>(), data::DatasetView(),
+           3);
+  auto grad = s.ComputeServerGradient();
+  EXPECT_FALSE(grad.ok());
+  EXPECT_EQ(grad.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ServerTest, UntrainedAccuracyIsNearChance) {
+  data::DatasetBundle bundle = SmallBundle();
+  Server s(nn::MlpFactory(16, 8, 4), std::make_unique<agg::MeanAggregator>(),
+           data::DatasetView(), 4);
+  double acc = s.EvaluateAccuracy(data::DatasetView::All(&bundle.test));
+  EXPECT_GT(acc, 0.02);
+  EXPECT_LT(acc, 0.65);  // 4 classes, untrained: near 0.25
+}
+
+}  // namespace
+}  // namespace fl
+}  // namespace dpbr

@@ -1,0 +1,178 @@
+#include "fl/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "aggregators/mean.h"
+#include "attacks/gaussian_attack.h"
+#include "data/synthetic.h"
+#include "nn/model_zoo.h"
+
+namespace dpbr {
+namespace fl {
+namespace {
+
+data::DatasetBundle TrainerBundle() {
+  data::SyntheticSpec spec;
+  spec.num_classes = 4;
+  spec.feature_dim = 16;
+  spec.train_size = 1600;
+  spec.val_size = 80;
+  spec.test_size = 200;
+  spec.class_separation = 3.5;
+  spec.noise_std = 0.6;
+  auto b = data::GenerateSynthetic(spec, 7);
+  EXPECT_TRUE(b.ok());
+  return std::move(b).value();
+}
+
+TrainerOptions FastOptions() {
+  TrainerOptions o;
+  o.num_honest = 8;
+  o.epochs = 4;
+  o.batch_size = 8;
+  o.epsilon = 2.0;
+  o.base_lr = 0.5;
+  o.momentum_reset = MomentumReset::kPersist;
+  o.seed = 1;
+  return o;
+}
+
+TEST(TrainerTest, ReferenceRunLearnsAboveChance) {
+  data::DatasetBundle bundle = TrainerBundle();
+  FederatedTrainer t(&bundle, nn::MlpFactory(16, 8, 4),
+                     std::make_unique<agg::MeanAggregator>(), nullptr,
+                     FastOptions());
+  auto h = t.Run();
+  ASSERT_TRUE(h.ok());
+  // 4 classes → chance 0.25; DP-FL should clear 0.5 on this easy task.
+  EXPECT_GT(h.value().final_accuracy, 0.5);
+  EXPECT_GE(h.value().best_accuracy, h.value().final_accuracy);
+  EXPECT_FALSE(h.value().evals.empty());
+}
+
+TEST(TrainerTest, PrivacyCalibrationExposed) {
+  data::DatasetBundle bundle = TrainerBundle();
+  FederatedTrainer t(&bundle, nn::MlpFactory(16, 8, 4),
+                     std::make_unique<agg::MeanAggregator>(), nullptr,
+                     FastOptions());
+  ASSERT_TRUE(t.Run().ok());
+  EXPECT_TRUE(t.privacy().dp_enabled);
+  EXPECT_DOUBLE_EQ(t.privacy().epsilon, 2.0);
+  // |D| = 1600/8 = 200, T = ceil(4·200/8) = 100.
+  EXPECT_EQ(t.total_rounds(), 100);
+  EXPECT_GT(t.privacy().sigma, 0.0);
+}
+
+TEST(TrainerTest, LrTransferScalesInverselyWithSigma) {
+  data::DatasetBundle bundle = TrainerBundle();
+  TrainerOptions strict = FastOptions();
+  strict.epsilon = 0.25;  // more noise than the base ε = 2
+  FederatedTrainer t_base(&bundle, nn::MlpFactory(16, 8, 4),
+                          std::make_unique<agg::MeanAggregator>(), nullptr,
+                          FastOptions());
+  FederatedTrainer t_strict(&bundle, nn::MlpFactory(16, 8, 4),
+                            std::make_unique<agg::MeanAggregator>(), nullptr,
+                            strict);
+  ASSERT_TRUE(t_base.Run().ok());
+  ASSERT_TRUE(t_strict.Run().ok());
+  // At the anchor ε the transfer rule returns the base LR itself.
+  EXPECT_NEAR(t_base.learning_rate(), 0.5, 1e-9);
+  EXPECT_LT(t_strict.learning_rate(), t_base.learning_rate());
+  // η·σ is invariant under the rule.
+  EXPECT_NEAR(t_strict.learning_rate() * t_strict.privacy().sigma,
+              t_base.learning_rate() * t_base.privacy().sigma, 1e-6);
+}
+
+TEST(TrainerTest, NonDpRunUsesBaseLrVerbatim) {
+  data::DatasetBundle bundle = TrainerBundle();
+  TrainerOptions o = FastOptions();
+  o.epsilon = -1.0;
+  FederatedTrainer t(&bundle, nn::MlpFactory(16, 8, 4),
+                     std::make_unique<agg::MeanAggregator>(), nullptr, o);
+  auto h = t.Run();
+  ASSERT_TRUE(h.ok());
+  EXPECT_FALSE(t.privacy().dp_enabled);
+  EXPECT_DOUBLE_EQ(t.learning_rate(), 0.5);
+  EXPECT_GT(h.value().final_accuracy, 0.6);
+}
+
+TEST(TrainerTest, DeterministicAcrossRuns) {
+  data::DatasetBundle bundle = TrainerBundle();
+  TrainerOptions o = FastOptions();
+  o.epochs = 2;
+  auto run = [&]() {
+    FederatedTrainer t(&bundle, nn::MlpFactory(16, 8, 4),
+                       std::make_unique<agg::MeanAggregator>(), nullptr, o);
+    auto h = t.Run();
+    EXPECT_TRUE(h.ok());
+    return h.value().final_accuracy;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(TrainerTest, NonIidPartitionTrains) {
+  data::DatasetBundle bundle = TrainerBundle();
+  TrainerOptions o = FastOptions();
+  o.iid = false;
+  FederatedTrainer t(&bundle, nn::MlpFactory(16, 8, 4),
+                     std::make_unique<agg::MeanAggregator>(), nullptr, o);
+  auto h = t.Run();
+  ASSERT_TRUE(h.ok());
+  EXPECT_GT(h.value().final_accuracy, 0.3);
+}
+
+TEST(TrainerTest, ByzantineWorkersRequireAttack) {
+  data::DatasetBundle bundle = TrainerBundle();
+  TrainerOptions o = FastOptions();
+  o.num_byzantine = 4;
+  FederatedTrainer t(&bundle, nn::MlpFactory(16, 8, 4),
+                     std::make_unique<agg::MeanAggregator>(), nullptr, o);
+  auto h = t.Run();
+  EXPECT_FALSE(h.ok());
+  EXPECT_EQ(h.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TrainerTest, ValidationErrors) {
+  data::DatasetBundle bundle = TrainerBundle();
+  auto run_with = [&](TrainerOptions o) {
+    FederatedTrainer t(&bundle, nn::MlpFactory(16, 8, 4),
+                       std::make_unique<agg::MeanAggregator>(), nullptr, o);
+    return t.Run().status().code();
+  };
+  TrainerOptions o = FastOptions();
+  o.num_honest = 0;
+  EXPECT_EQ(run_with(o), StatusCode::kInvalidArgument);
+  o = FastOptions();
+  o.epochs = 0;
+  EXPECT_EQ(run_with(o), StatusCode::kInvalidArgument);
+  o = FastOptions();
+  o.batch_size = 0;
+  EXPECT_EQ(run_with(o), StatusCode::kInvalidArgument);
+  o = FastOptions();
+  o.num_byzantine = -1;
+  EXPECT_EQ(run_with(o), StatusCode::kInvalidArgument);
+}
+
+TEST(TrainerTest, GaussianAttackOnMeanDegradesAccuracy) {
+  data::DatasetBundle bundle = TrainerBundle();
+  TrainerOptions clean = FastOptions();
+  TrainerOptions attacked = FastOptions();
+  attacked.num_byzantine = 24;  // 75% of 32 total
+  FederatedTrainer t_clean(&bundle, nn::MlpFactory(16, 8, 4),
+                           std::make_unique<agg::MeanAggregator>(), nullptr,
+                           clean);
+  // Loud Gaussian uploads (scale 40x the DP level) wreck the plain mean.
+  FederatedTrainer t_attacked(
+      &bundle, nn::MlpFactory(16, 8, 4),
+      std::make_unique<agg::MeanAggregator>(),
+      std::make_unique<attacks::GaussianAttack>(40.0), attacked);
+  auto hc = t_clean.Run();
+  auto ha = t_attacked.Run();
+  ASSERT_TRUE(hc.ok());
+  ASSERT_TRUE(ha.ok());
+  EXPECT_GT(hc.value().final_accuracy, ha.value().final_accuracy + 0.15);
+}
+
+}  // namespace
+}  // namespace fl
+}  // namespace dpbr

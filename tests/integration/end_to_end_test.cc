@@ -1,0 +1,128 @@
+// End-to-end reproduction checks: small-scale versions of the paper's
+// headline claims, run through the same RunExperiment driver the bench
+// harnesses use. Scales are reduced for CI speed; the bench binaries run
+// the full-size versions.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+
+namespace dpbr {
+namespace core {
+namespace {
+
+// Shared reduced-scale base: 10 honest workers, 3 epochs, one seed.
+ExperimentConfig Base() {
+  ExperimentConfig c;
+  c.dataset = "synth_mnist";
+  c.epsilon = 2.0;
+  c.num_honest = 10;
+  c.epochs = 3;
+  c.seeds = {1};
+  return c;
+}
+
+double RunAcc(ExperimentConfig c) {
+  auto r = RunExperiment(c);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? r.value().accuracy.mean() : 0.0;
+}
+
+TEST(EndToEndTest, ReferenceAccuracyLearns) {
+  double ref = RunAcc(Base());
+  EXPECT_GT(ref, 0.6);
+}
+
+TEST(EndToEndTest, Claim4_DpbrMatchesReferenceUnderLabelFlip60) {
+  // CLAIM 4: the protocol "eradicates" the attack — accuracy stays close
+  // to the Reference Accuracy.
+  ExperimentConfig attacked = Base();
+  attacked.attack = "label_flip";
+  attacked.num_byzantine = 15;  // 60% of 25
+  attacked.aggregator = "dpbr";
+  double dpbr = RunAcc(attacked);
+  double ref = RunAcc(Base());
+  EXPECT_GT(dpbr, ref - 0.12);
+}
+
+TEST(EndToEndTest, Claim5_MajorityByzantineResilience) {
+  // CLAIM 5: resilience at 90% Byzantine, where every classical rule has
+  // lost its majority assumption.
+  ExperimentConfig attacked = Base();
+  attacked.attack = "opt_lmp";
+  attacked.num_byzantine = 90;  // 90% of 100
+  attacked.aggregator = "dpbr";
+  double dpbr = RunAcc(attacked);
+  double ref = RunAcc(Base());
+  EXPECT_GT(dpbr, ref - 0.15);
+}
+
+TEST(EndToEndTest, UndefendedMeanCollapsesUnderOptLmp) {
+  // The contrast that motivates the defense.
+  ExperimentConfig attacked = Base();
+  attacked.attack = "opt_lmp";
+  attacked.num_byzantine = 15;
+  attacked.aggregator = "mean";
+  double mean_acc = RunAcc(attacked);
+  EXPECT_LT(mean_acc, 0.4);
+}
+
+TEST(EndToEndTest, KrumFailsUnderByzantineMajority) {
+  // Table 1's ✗ row: Krum cannot survive > 50% Byzantine workers.
+  ExperimentConfig attacked = Base();
+  attacked.attack = "opt_lmp";
+  attacked.num_byzantine = 15;
+  attacked.aggregator = "krum";
+  double krum_acc = RunAcc(attacked);
+  double ref = RunAcc(Base());
+  EXPECT_LT(krum_acc, ref - 0.2);
+}
+
+TEST(EndToEndTest, Claim3_NoSideEffectWithSilentByzantineLabels) {
+  // CLAIM 3: labeling 60% of workers Byzantine while they all behave
+  // honestly must not hurt accuracy. Silent Byzantine workers copy honest
+  // uploads forever (adaptive attack with TTBB = 1).
+  ExperimentConfig silent = Base();
+  silent.attack = "gaussian";
+  silent.ttbb = 1.0;  // never turns hostile
+  silent.num_byzantine = 15;
+  silent.aggregator = "dpbr";
+  silent.gamma = 0.4;  // server still believes only 40% are honest
+  double acc = RunAcc(silent);
+  double ref = RunAcc(Base());
+  EXPECT_GT(acc, ref - 0.12);
+}
+
+TEST(EndToEndTest, NonIidDpbrStillDefends) {
+  ExperimentConfig attacked = Base();
+  attacked.iid = false;
+  attacked.attack = "label_flip";
+  attacked.num_byzantine = 15;
+  attacked.aggregator = "dpbr";
+  ExperimentConfig ref_cfg = Base();
+  ref_cfg.iid = false;
+  double dpbr = RunAcc(attacked);
+  double ref = RunAcc(ref_cfg);
+  EXPECT_GT(dpbr, ref - 0.15);
+}
+
+TEST(EndToEndTest, Table17_OodAuxiliaryDataBreaksSecondStage) {
+  // Supp. Table 17: auxiliary data from an alien data space X' leaves the
+  // server gradient uninformative; under label-flip the defense loses its
+  // edge and accuracy drops far below reference.
+  ExperimentConfig ood = Base();
+  ood.attack = "label_flip";
+  ood.num_byzantine = 15;
+  ood.aggregator = "dpbr";
+  ood.ood_aux_dataset = "synth_kmnist";
+  double ood_acc = RunAcc(ood);
+  double ref = RunAcc(Base());
+  // Our synthetic "alien" space degrades the defense less catastrophically
+  // than KMNIST does in the paper (shared model bias gradients still give
+  // partial alignment); the direction of the effect is what we assert.
+  EXPECT_LT(ood_acc, ref - 0.12);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace dpbr

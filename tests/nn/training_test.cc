@@ -1,0 +1,121 @@
+// Centralized (non-federated) training sanity: the NN substrate must be
+// able to fit simple tasks, otherwise the FL experiments are meaningless.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/loss.h"
+#include "nn/model_zoo.h"
+#include "nn/optimizer.h"
+
+namespace dpbr {
+namespace nn {
+namespace {
+
+// Two Gaussian blobs in 2-d, linearly separable.
+struct Blobs {
+  std::vector<Tensor> xs;
+  std::vector<size_t> ys;
+};
+
+Blobs MakeBlobs(size_t n, uint64_t seed) {
+  SplitRng rng(seed);
+  Blobs b;
+  for (size_t i = 0; i < n; ++i) {
+    size_t label = i % 2;
+    double cx = label == 0 ? -2.0 : 2.0;
+    Tensor x({2});
+    x[0] = static_cast<float>(rng.Gaussian(cx, 1.0));
+    x[1] = static_cast<float>(rng.Gaussian(0.0, 1.0));
+    b.xs.push_back(std::move(x));
+    b.ys.push_back(label);
+  }
+  return b;
+}
+
+double Accuracy(Sequential* m, const Blobs& b) {
+  size_t correct = 0;
+  for (size_t i = 0; i < b.xs.size(); ++i) {
+    if (Argmax(m->Forward(b.xs[i])) == b.ys[i]) ++correct;
+  }
+  return static_cast<double>(correct) / b.xs.size();
+}
+
+TEST(TrainingTest, MlpFitsLinearlySeparableBlobs) {
+  auto m = MakeMlp(2, 8, 2);
+  SplitRng rng(11);
+  m->InitParams(&rng);
+  Blobs train = MakeBlobs(200, 1);
+  Blobs test = MakeBlobs(200, 2);
+  Sgd sgd(m.get(), 0.05, 0.9);
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    for (size_t i = 0; i < train.xs.size(); ++i) {
+      Tensor logits = m->Forward(train.xs[i]);
+      LossGrad lg = SoftmaxCrossEntropy(logits, train.ys[i]);
+      m->Backward(lg.grad_logits);
+      sgd.Step();
+    }
+  }
+  EXPECT_GT(Accuracy(m.get(), test), 0.95);
+}
+
+TEST(TrainingTest, LossDecreasesMonotonicallyOnAverage) {
+  auto m = MakeMlp(2, 8, 2);
+  SplitRng rng(12);
+  m->InitParams(&rng);
+  Blobs train = MakeBlobs(100, 3);
+  Sgd sgd(m.get(), 0.05, 0.0);
+  auto epoch_loss = [&] {
+    double s = 0.0;
+    for (size_t i = 0; i < train.xs.size(); ++i) {
+      s += SoftmaxCrossEntropy(m->Forward(train.xs[i]), train.ys[i]).loss;
+    }
+    return s / train.xs.size();
+  };
+  double before = epoch_loss();
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    for (size_t i = 0; i < train.xs.size(); ++i) {
+      Tensor logits = m->Forward(train.xs[i]);
+      LossGrad lg = SoftmaxCrossEntropy(logits, train.ys[i]);
+      m->Backward(lg.grad_logits);
+      sgd.Step();
+    }
+  }
+  EXPECT_LT(epoch_loss(), before * 0.7);
+}
+
+TEST(TrainingTest, CnnFitsPatternImages) {
+  // Two classes of 6x6 images: bright left half vs bright right half.
+  SplitRng rng(13);
+  auto make_image = [&](size_t label) {
+    Tensor x({1, 6, 6});
+    for (size_t i = 0; i < 6; ++i) {
+      for (size_t j = 0; j < 6; ++j) {
+        double base = (label == 0) == (j < 3) ? 1.0 : -1.0;
+        x.at(0, i, j) = static_cast<float>(base + rng.Gaussian(0.0, 0.3));
+      }
+    }
+    return x;
+  };
+  auto m = MakeCnn(1, 4, 3, 2);
+  m->InitParams(&rng);
+  Sgd sgd(m.get(), 0.02, 0.9);
+  for (int step = 0; step < 300; ++step) {
+    size_t label = step % 2;
+    Tensor x = make_image(label);
+    LossGrad lg = SoftmaxCrossEntropy(m->Forward(x), label);
+    m->Backward(lg.grad_logits);
+    sgd.Step();
+  }
+  size_t correct = 0;
+  const size_t kEval = 100;
+  for (size_t i = 0; i < kEval; ++i) {
+    size_t label = i % 2;
+    if (Argmax(m->Forward(make_image(label))) == label) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / kEval, 0.9);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace dpbr

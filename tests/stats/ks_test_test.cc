@@ -1,0 +1,104 @@
+#include "stats/ks_test.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "stats/distributions.h"
+
+namespace dpbr {
+namespace stats {
+namespace {
+
+TEST(KsTestTest, HandComputedStatistic) {
+  // Sample {0.1, 0.2, 0.3} against U(0,1) CDF F(x) = x:
+  // D = max over i of max(i/3 - x_(i), x_(i) - (i-1)/3)
+  //   i=1: max(1/3-0.1, 0.1-0)   = 0.2333...
+  //   i=2: max(2/3-0.2, 0.2-1/3) = 0.4666...
+  //   i=3: max(1-0.3, 0.3-2/3)   = 0.7
+  KsResult r = KsTest({0.1, 0.2, 0.3}, [](double x) { return x; });
+  EXPECT_NEAR(r.statistic, 0.7, 1e-12);
+  EXPECT_EQ(r.n, 3u);
+}
+
+TEST(KsTestTest, PerfectFitHasHighPValue) {
+  // Deterministic quantile sample: x_i = F^{-1}((i-0.5)/n) gives D = 1/(2n).
+  const size_t kN = 100;
+  std::vector<double> sample;
+  for (size_t i = 0; i < kN; ++i) {
+    sample.push_back(
+        NormalQuantile((static_cast<double>(i) + 0.5) / kN));
+  }
+  KsResult r = KsTest(sample, [](double x) { return NormalCdf(x); });
+  EXPECT_NEAR(r.statistic, 0.005, 1e-9);
+  EXPECT_GT(r.p_value, 0.999);
+}
+
+TEST(KsTestGaussianTest, GaussianSamplePassesAtNominalRate) {
+  // Draws from the null should be rejected ~5% of the time at α = 0.05.
+  SplitRng rng(17);
+  const int kTrials = 200;
+  const size_t kN = 500;
+  int rejections = 0;
+  std::vector<float> buf(kN);
+  for (int t = 0; t < kTrials; ++t) {
+    rng.FillGaussian(buf.data(), kN, 2.5);
+    KsResult r = KsTestGaussian(buf, 2.5);
+    if (r.p_value < 0.05) ++rejections;
+  }
+  // Binomial(200, 0.05): mean 10, std ≈ 3.1. Accept within ±5 std.
+  EXPECT_LE(rejections, 26);
+}
+
+TEST(KsTestGaussianTest, WrongScaleIsRejected) {
+  SplitRng rng(18);
+  std::vector<float> buf(2000);
+  rng.FillGaussian(buf.data(), buf.size(), 2.0);
+  // Tested against a 30% smaller σ: decisively rejected.
+  KsResult r = KsTestGaussian(buf, 1.4);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(KsTestGaussianTest, UniformSampleIsRejected) {
+  SplitRng rng(19);
+  std::vector<float> buf(2000);
+  for (auto& v : buf) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  KsResult r = KsTestGaussian(buf, 1.0);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(KsTestGaussianTest, ShiftedMeanIsRejected) {
+  SplitRng rng(20);
+  std::vector<float> buf(2000);
+  for (auto& v : buf) v = static_cast<float>(rng.Gaussian(0.3, 1.0));
+  KsResult r = KsTestGaussian(buf, 1.0);
+  EXPECT_LT(r.p_value, 1e-4);
+}
+
+TEST(KsTestGaussianTest, ZeroVectorIsRejected) {
+  std::vector<float> zeros(1000, 0.0f);
+  KsResult r = KsTestGaussian(zeros, 1.0);
+  // ECDF jumps 0→1 at 0 while Φ(0) = 0.5, so D = 0.5.
+  EXPECT_NEAR(r.statistic, 0.5, 1e-6);
+  EXPECT_LT(r.p_value, 1e-10);
+}
+
+class KsSigmaSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(KsSigmaSweepTest, NullSamplesPass) {
+  double sigma = GetParam();
+  SplitRng rng(21 + static_cast<uint64_t>(sigma * 1000));
+  std::vector<float> buf(2410);  // d of the default experiment MLP
+  rng.FillGaussian(buf.data(), buf.size(), sigma);
+  KsResult r = KsTestGaussian(buf, sigma);
+  EXPECT_GT(r.p_value, 0.001) << "sigma=" << sigma;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, KsSigmaSweepTest,
+                         ::testing::Values(0.01, 0.1, 0.29, 1.0, 4.4, 19.0));
+
+}  // namespace
+}  // namespace stats
+}  // namespace dpbr
