@@ -4,12 +4,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
 #include <vector>
 
 #include "aggregators/krum.h"
 #include "aggregators/median.h"
 #include "aggregators/rfa.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/dpbr_aggregator.h"
 #include "core/first_stage.h"
 #include "dp/rdp_accountant.h"
@@ -85,6 +90,72 @@ void BM_Krum(benchmark::State& state) {
 }
 BENCHMARK(BM_Krum)->Arg(20)->Arg(50);
 
+// --- Krum serial-vs-parallel comparison at production scale (n=100
+// clients, d=100k dims). The thread count is pinned via
+// ScopedPoolOverride so the two benchmarks differ only in pool size;
+// main() additionally asserts the two aggregates are bit-identical.
+
+constexpr size_t kKrumScaleN = 100;
+constexpr size_t kKrumScaleDim = 100000;
+
+size_t ParallelPoolSize() {
+  return std::max<size_t>(4, std::thread::hardware_concurrency());
+}
+
+void KrumAtScale(benchmark::State& state, size_t pool_size) {
+  auto uploads = NoiseUploads(kKrumScaleN, kKrumScaleDim, 0.3);
+  agg::AggregationContext ctx;
+  ctx.dim = kKrumScaleDim;
+  ctx.gamma = 0.6;
+  agg::KrumAggregator krum;
+  ThreadPool pool(pool_size);
+  ScopedPoolOverride override(&pool);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(krum.Aggregate(uploads, ctx));
+  }
+  state.counters["threads"] = static_cast<double>(pool_size);
+}
+
+void BM_KrumAtScaleSerial(benchmark::State& state) {
+  KrumAtScale(state, 1);
+}
+BENCHMARK(BM_KrumAtScaleSerial)->Unit(benchmark::kMillisecond);
+
+void BM_KrumAtScaleParallel(benchmark::State& state) {
+  KrumAtScale(state, ParallelPoolSize());
+}
+BENCHMARK(BM_KrumAtScaleParallel)->Unit(benchmark::kMillisecond);
+
+// Serial and parallel Krum must agree bit-for-bit; run before the timing
+// loops so a determinism regression fails the bench smoke job loudly.
+void CheckKrumSerialParallelIdentity() {
+  auto uploads = NoiseUploads(kKrumScaleN, kKrumScaleDim, 0.3);
+  agg::AggregationContext ctx;
+  ctx.dim = kKrumScaleDim;
+  ctx.gamma = 0.6;
+  agg::KrumAggregator krum;
+  std::vector<float> serial, parallel;
+  {
+    ThreadPool pool(1);
+    ScopedPoolOverride override(&pool);
+    serial = krum.Aggregate(uploads, ctx).value();
+  }
+  {
+    ThreadPool pool(ParallelPoolSize());
+    ScopedPoolOverride override(&pool);
+    parallel = krum.Aggregate(uploads, ctx).value();
+  }
+  if (serial != parallel) {
+    std::fprintf(stderr,
+                 "FATAL: serial and parallel Krum aggregates differ\n");
+    std::exit(1);
+  }
+  std::fprintf(stderr,
+               "krum determinism check: serial == parallel (n=%zu, d=%zu, "
+               "%zu threads)\n",
+               kKrumScaleN, kKrumScaleDim, ParallelPoolSize());
+}
+
 void BM_CoordinateMedian(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));
   auto uploads = NoiseUploads(n, 2410, 0.3);
@@ -125,4 +196,11 @@ BENCHMARK(BM_NoiseMultiplierSearch);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  CheckKrumSerialParallelIdentity();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

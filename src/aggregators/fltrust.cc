@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
 #include "tensor/ops.h"
 
 namespace dpbr {
@@ -23,19 +24,31 @@ Result<std::vector<float>> FlTrustAggregator::Aggregate(
     return Status::FailedPrecondition("server gradient is zero");
   }
 
+  // Per-upload trust scores (cosine + norm are full-vector reductions,
+  // the expensive part) computed in parallel; `scale` of 0 marks uploads
+  // that the fixed-order accumulation below skips.
+  size_t n = uploads.size();
+  std::vector<float> scale(n, 0.0f);
+  std::vector<double> trust(n, 0.0);
+  ParallelFor(0, n, [&](size_t i) {
+    double cos = ops::CosineSimilarity(uploads[i], gs);
+    double w = std::max(cos, 0.0);  // ReLU trust score
+    if (w == 0.0) return;
+    double u_norm = ops::Norm(uploads[i]);
+    if (u_norm == 0.0) return;
+    // Rescale the upload to the server gradient's magnitude.
+    scale[i] = static_cast<float>(w * gs_norm / u_norm);
+    trust[i] = w;
+  });
   std::vector<float> out(ctx.dim, 0.0f);
   double weight_sum = 0.0;
-  for (const auto& u : uploads) {
-    double cos = ops::CosineSimilarity(u, gs);
-    double w = std::max(cos, 0.0);  // ReLU trust score
-    if (w == 0.0) continue;
-    double u_norm = ops::Norm(u);
-    if (u_norm == 0.0) continue;
-    // Rescale the upload to the server gradient's magnitude.
-    float scale = static_cast<float>(w * gs_norm / u_norm);
-    ops::Axpy(scale, u.data(), out.data(), ctx.dim);
-    weight_sum += w;
-  }
+  for (size_t i = 0; i < n; ++i) weight_sum += trust[i];
+  ParallelForBlocked(ctx.dim, 4096, [&](size_t lo, size_t hi) {
+    for (size_t i = 0; i < n; ++i) {
+      if (scale[i] == 0.0f) continue;
+      ops::Axpy(scale[i], uploads[i].data() + lo, out.data() + lo, hi - lo);
+    }
+  });
   if (weight_sum == 0.0) {
     // All uploads rejected: no update this round.
     return std::vector<float>(ctx.dim, 0.0f);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/thread_pool.h"
 #include "tensor/ops.h"
 
 namespace dpbr {
@@ -22,13 +23,17 @@ Result<std::vector<float>> KrumAggregator::Aggregate(
   }
   neighbors = std::min(neighbors, n - 1);
 
-  // Pairwise squared distances (symmetric).
+  // Pairwise squared distances (symmetric). Row i owns every (i, j > i)
+  // pair, so each matrix cell is written by exactly one task and the
+  // per-pair arithmetic is schedule-independent. Rows are processed in
+  // mirrored pairs (t, n-1-t) — n-1 pairs per task — because row length
+  // shrinks with i and ParallelFor chunks the index range contiguously.
   std::vector<double> d2(n * n, 0.0);
-  for (size_t i = 0; i < n; ++i) {
+  auto distance_row = [&](size_t i) {
+    const float* a = uploads[i].data();
     for (size_t j = i + 1; j < n; ++j) {
-      double s = 0.0;
-      const float* a = uploads[i].data();
       const float* b = uploads[j].data();
+      double s = 0.0;
       for (size_t k = 0; k < ctx.dim; ++k) {
         double diff = static_cast<double>(a[k]) - b[k];
         s += diff * diff;
@@ -36,21 +41,29 @@ Result<std::vector<float>> KrumAggregator::Aggregate(
       d2[i * n + j] = s;
       d2[j * n + i] = s;
     }
-  }
+  };
+  ParallelFor(0, (n + 1) / 2, [&](size_t t) {
+    distance_row(t);
+    size_t mirror = n - 1 - t;
+    if (mirror != t) distance_row(mirror);
+  });
 
   // Krum score: sum of the `neighbors` smallest distances to others.
+  // Blocked so each task amortizes its selection scratch buffer.
   std::vector<double> score(n, 0.0);
-  std::vector<double> row(n - 1);
-  for (size_t i = 0; i < n; ++i) {
-    size_t m = 0;
-    for (size_t j = 0; j < n; ++j) {
-      if (j != i) row[m++] = d2[i * n + j];
+  ParallelForBlocked(n, 16, [&](size_t lo, size_t hi) {
+    std::vector<double> row(n - 1);
+    for (size_t i = lo; i < hi; ++i) {
+      size_t m = 0;
+      for (size_t j = 0; j < n; ++j) {
+        if (j != i) row[m++] = d2[i * n + j];
+      }
+      std::nth_element(row.begin(), row.begin() + neighbors - 1, row.end());
+      double s = 0.0;
+      for (size_t k = 0; k < neighbors; ++k) s += row[k];
+      score[i] = s;
     }
-    std::nth_element(row.begin(), row.begin() + neighbors - 1, row.end());
-    double s = 0.0;
-    for (size_t k = 0; k < neighbors; ++k) s += row[k];
-    score[i] = s;
-  }
+  });
 
   std::vector<size_t> order(n);
   std::iota(order.begin(), order.end(), 0);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
+
 namespace dpbr {
 namespace agg {
 
@@ -11,20 +13,24 @@ Result<std::vector<float>> CoordinateMedianAggregator::Aggregate(
   DPBR_RETURN_NOT_OK(ValidateUploads(uploads, ctx));
   size_t n = uploads.size();
   std::vector<float> out(ctx.dim);
-  std::vector<float> column(n);
-  for (size_t j = 0; j < ctx.dim; ++j) {
-    for (size_t i = 0; i < n; ++i) column[i] = uploads[i][j];
-    size_t mid = n / 2;
-    std::nth_element(column.begin(), column.begin() + mid, column.end());
-    float hi = column[mid];
-    if (n % 2 == 1) {
-      out[j] = hi;
-    } else {
-      std::nth_element(column.begin(), column.begin() + mid - 1,
-                       column.end());
-      out[j] = 0.5f * (hi + column[mid - 1]);
+  // Coordinates are independent; block them so each task amortizes its
+  // column scratch buffer over many selects.
+  ParallelForBlocked(ctx.dim, 1024, [&](size_t lo, size_t hi_end) {
+    std::vector<float> column(n);
+    for (size_t j = lo; j < hi_end; ++j) {
+      for (size_t i = 0; i < n; ++i) column[i] = uploads[i][j];
+      size_t mid = n / 2;
+      std::nth_element(column.begin(), column.begin() + mid, column.end());
+      float hi = column[mid];
+      if (n % 2 == 1) {
+        out[j] = hi;
+      } else {
+        std::nth_element(column.begin(), column.begin() + mid - 1,
+                         column.end());
+        out[j] = 0.5f * (hi + column[mid - 1]);
+      }
     }
-  }
+  });
   return out;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
 #include "stats/summary.h"
 #include "tensor/ops.h"
 
@@ -12,21 +13,28 @@ Result<std::vector<float>> NormBoundAggregator::Aggregate(
     const std::vector<std::vector<float>>& uploads,
     const AggregationContext& ctx) {
   DPBR_RETURN_NOT_OK(ValidateUploads(uploads, ctx));
+  size_t n = uploads.size();
+  // Per-upload norms are independent full-vector reductions; compute them
+  // once, in parallel, and reuse for both the median bound and clipping.
+  std::vector<double> norms(n);
+  ParallelFor(0, n, [&](size_t i) { norms[i] = ops::Norm(uploads[i]); });
   double bound = bound_;
   if (bound <= 0.0) {
-    std::vector<double> norms;
-    norms.reserve(uploads.size());
-    for (const auto& u : uploads) norms.push_back(ops::Norm(u));
-    bound = stats::Median(std::move(norms));
+    bound = stats::Median(std::vector<double>(norms));
     if (bound == 0.0) return std::vector<float>(ctx.dim, 0.0f);
   }
-  std::vector<float> out(ctx.dim, 0.0f);
-  for (const auto& u : uploads) {
-    double n = ops::Norm(u);
-    float scale = (n > bound) ? static_cast<float>(bound / n) : 1.0f;
-    ops::Axpy(scale, u.data(), out.data(), ctx.dim);
+  std::vector<float> scale(n);
+  for (size_t i = 0; i < n; ++i) {
+    scale[i] = (norms[i] > bound) ? static_cast<float>(bound / norms[i])
+                                  : 1.0f;
   }
-  ops::Scale(1.0f / static_cast<float>(uploads.size()), out.data(), ctx.dim);
+  std::vector<float> out(ctx.dim, 0.0f);
+  ParallelForBlocked(ctx.dim, 4096, [&](size_t lo, size_t hi) {
+    for (size_t i = 0; i < n; ++i) {
+      ops::Axpy(scale[i], uploads[i].data() + lo, out.data() + lo, hi - lo);
+    }
+  });
+  ops::Scale(1.0f / static_cast<float>(n), out.data(), ctx.dim);
   return out;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/thread_pool.h"
 #include "tensor/ops.h"
 
 namespace dpbr {
@@ -14,28 +15,46 @@ Result<std::vector<float>> RfaAggregator::Aggregate(
   size_t n = uploads.size();
   std::vector<float> g = ops::MeanOf(uploads);  // warm start at the mean
   std::vector<double> w(n);
+  // Coordinate blocking is fixed (independent of the pool size) so every
+  // float accumulation happens in the same order under any thread count.
+  constexpr size_t kBlock = 4096;
+  size_t num_blocks = (ctx.dim + kBlock - 1) / kBlock;
+  std::vector<double> block_delta2(num_blocks);
   for (int iter = 0; iter < max_iters_; ++iter) {
-    double wsum = 0.0;
-    for (size_t i = 0; i < n; ++i) {
+    // Weiszfeld weights: each upload's distance to the iterate is an
+    // independent reduction.
+    ParallelFor(0, n, [&](size_t i) {
       double dist2 = 0.0;
       for (size_t k = 0; k < ctx.dim; ++k) {
         double d = static_cast<double>(g[k]) - uploads[i][k];
         dist2 += d * d;
       }
       w[i] = 1.0 / std::sqrt(dist2 + smoothing_ * smoothing_);
-      wsum += w[i];
-    }
-    std::vector<float> next(ctx.dim, 0.0f);
+    });
+    double wsum = 0.0;
+    for (size_t i = 0; i < n; ++i) wsum += w[i];
+    std::vector<float> precomputed_wi(n);
     for (size_t i = 0; i < n; ++i) {
-      float wi = static_cast<float>(w[i] / wsum);
-      ops::Axpy(wi, uploads[i].data(), next.data(), ctx.dim);
+      precomputed_wi[i] = static_cast<float>(w[i] / wsum);
     }
-    // Converged when the iterate barely moves.
+    // Weighted combination and squared step size, blocked by coordinate;
+    // within a block the uploads accumulate in fixed index order.
+    std::vector<float> next(ctx.dim, 0.0f);
+    ParallelForBlocked(ctx.dim, kBlock, [&](size_t lo, size_t hi) {
+      for (size_t i = 0; i < n; ++i) {
+        ops::Axpy(precomputed_wi[i], uploads[i].data() + lo,
+                  next.data() + lo, hi - lo);
+      }
+      double d2 = 0.0;
+      for (size_t k = lo; k < hi; ++k) {
+        double d = static_cast<double>(next[k]) - g[k];
+        d2 += d * d;
+      }
+      block_delta2[lo / kBlock] = d2;
+    });
+    // Converged when the iterate barely moves (block-ordered reduction).
     double delta2 = 0.0;
-    for (size_t k = 0; k < ctx.dim; ++k) {
-      double d = static_cast<double>(next[k]) - g[k];
-      delta2 += d * d;
-    }
+    for (size_t b = 0; b < num_blocks; ++b) delta2 += block_delta2[b];
     g.swap(next);
     if (delta2 < 1e-18) break;
   }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace dpbr {
 namespace agg {
@@ -23,14 +24,18 @@ Result<std::vector<float>> TrimmedMeanAggregator::Aggregate(
                                             static_cast<double>(n)));
   if (2 * k >= n) k = (n - 1) / 2;
   std::vector<float> out(ctx.dim);
-  std::vector<float> column(n);
-  for (size_t j = 0; j < ctx.dim; ++j) {
-    for (size_t i = 0; i < n; ++i) column[i] = uploads[i][j];
-    std::sort(column.begin(), column.end());
-    double s = 0.0;
-    for (size_t i = k; i < n - k; ++i) s += column[i];
-    out[j] = static_cast<float>(s / static_cast<double>(n - 2 * k));
-  }
+  // Coordinates are independent; block them so each task amortizes its
+  // column scratch buffer over many sorts.
+  ParallelForBlocked(ctx.dim, 1024, [&](size_t lo, size_t hi) {
+    std::vector<float> column(n);
+    for (size_t j = lo; j < hi; ++j) {
+      for (size_t i = 0; i < n; ++i) column[i] = uploads[i][j];
+      std::sort(column.begin(), column.end());
+      double s = 0.0;
+      for (size_t i = k; i < n - k; ++i) s += column[i];
+      out[j] = static_cast<float>(s / static_cast<double>(n - 2 * k));
+    }
+  });
   return out;
 }
 

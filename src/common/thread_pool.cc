@@ -5,6 +5,16 @@
 #include "common/logging.h"
 
 namespace dpbr {
+namespace {
+
+// Set while the current thread is a pool worker executing a task; nested
+// ParallelFor calls then run inline instead of deadlocking the pool.
+thread_local bool t_in_pool_worker = false;
+
+// ScopedPoolOverride target; read by ThreadPool::Ambient().
+ThreadPool* g_pool_override = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   DPBR_CHECK_GE(num_threads, 1u);
@@ -51,7 +61,9 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
+    t_in_pool_worker = true;
     task();
+    t_in_pool_worker = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;
@@ -66,11 +78,22 @@ ThreadPool& ThreadPool::Global() {
   return pool;
 }
 
+ThreadPool& ThreadPool::Ambient() {
+  return g_pool_override != nullptr ? *g_pool_override : Global();
+}
+
+ScopedPoolOverride::ScopedPoolOverride(ThreadPool* pool)
+    : prev_(g_pool_override) {
+  g_pool_override = pool;
+}
+
+ScopedPoolOverride::~ScopedPoolOverride() { g_pool_override = prev_; }
+
 void ParallelFor(ThreadPool& pool, size_t begin, size_t end,
                  const std::function<void(size_t)>& body) {
   if (end <= begin) return;
   size_t n = end - begin;
-  if (n == 1 || pool.num_threads() == 1) {
+  if (n == 1 || pool.num_threads() == 1 || t_in_pool_worker) {
     for (size_t i = begin; i < end; ++i) body(i);
     return;
   }
@@ -78,32 +101,41 @@ void ParallelFor(ThreadPool& pool, size_t begin, size_t end,
   // negligible relative to per-worker NN compute.
   size_t num_chunks = std::min(n, pool.num_threads());
   size_t chunk = (n + num_chunks - 1) / num_chunks;
-  std::atomic<size_t> pending{0};
+  size_t num_tasks = (n + chunk - 1) / chunk;
+  // `pending` is guarded by done_mu, and the final task notifies while
+  // still holding it: the waiter can neither miss the wakeup nor destroy
+  // these stack objects before the last worker is done touching them.
   std::mutex done_mu;
   std::condition_variable done_cv;
-  size_t launched = 0;
-  for (size_t c = 0; c < num_chunks; ++c) {
+  size_t pending = num_tasks;
+  for (size_t c = 0; c < num_tasks; ++c) {
     size_t lo = begin + c * chunk;
-    if (lo >= end) break;
     size_t hi = std::min(end, lo + chunk);
-    ++launched;
-    pending.fetch_add(1);
     pool.Submit([lo, hi, &body, &pending, &done_mu, &done_cv] {
       for (size_t i = lo; i < hi; ++i) body(i);
-      if (pending.fetch_sub(1) == 1) {
-        std::lock_guard<std::mutex> lock(done_mu);
-        done_cv.notify_all();
-      }
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (--pending == 0) done_cv.notify_all();
     });
   }
-  (void)launched;
   std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&pending] { return pending.load() == 0; });
+  done_cv.wait(lock, [&pending] { return pending == 0; });
 }
 
 void ParallelFor(size_t begin, size_t end,
                  const std::function<void(size_t)>& body) {
-  ParallelFor(ThreadPool::Global(), begin, end, body);
+  ParallelFor(ThreadPool::Ambient(), begin, end, body);
+}
+
+void ParallelForBlocked(size_t total, size_t block_size,
+                        const std::function<void(size_t, size_t)>& body) {
+  if (total == 0) return;
+  DPBR_CHECK_GE(block_size, 1u);
+  size_t num_blocks = (total + block_size - 1) / block_size;
+  ParallelFor(0, num_blocks, [&](size_t b) {
+    size_t lo = b * block_size;
+    size_t hi = std::min(total, lo + block_size);
+    body(lo, hi);
+  });
 }
 
 }  // namespace dpbr

@@ -39,6 +39,10 @@ class ThreadPool {
   /// Process-wide pool sized to the hardware concurrency (lazily created).
   static ThreadPool& Global();
 
+  /// Pool the single-argument ParallelFor overload dispatches to: the
+  /// ScopedPoolOverride in effect, else Global().
+  static ThreadPool& Ambient();
+
  private:
   void WorkerLoop();
 
@@ -51,14 +55,43 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-/// Runs body(i) for i in [begin, end) across the pool and blocks until all
-/// iterations complete. Falls back to inline execution for tiny ranges.
+/// Runs body(i) for i in [begin, end) across the ambient pool and blocks
+/// until all iterations complete. Falls back to inline execution for tiny
+/// ranges, and always runs inline when called from inside a pool worker
+/// (nested ParallelFor would otherwise deadlock waiting for occupied
+/// workers). Results must not depend on the pool size: per-index work
+/// only, with any reduction done by the caller in fixed order.
 void ParallelFor(size_t begin, size_t end,
                  const std::function<void(size_t)>& body);
 
 /// Same as ParallelFor but on an explicit pool.
 void ParallelFor(ThreadPool& pool, size_t begin, size_t end,
                  const std::function<void(size_t)>& body);
+
+/// While alive, routes the pool-less ParallelFor overload to `pool`
+/// instead of ThreadPool::Global(). Lets tests and benchmarks run the
+/// production aggregation code under pool sizes 1/2/N to check that
+/// results are bit-identical and to measure scaling. Not reentrant:
+/// create and destroy on one thread, one override at a time.
+class ScopedPoolOverride {
+ public:
+  explicit ScopedPoolOverride(ThreadPool* pool);
+  ~ScopedPoolOverride();
+
+  ScopedPoolOverride(const ScopedPoolOverride&) = delete;
+  ScopedPoolOverride& operator=(const ScopedPoolOverride&) = delete;
+
+ private:
+  ThreadPool* prev_;
+};
+
+/// Splits `total` indices into fixed-size blocks and runs
+/// body(block_begin, block_end) for each block across the ambient pool.
+/// The block boundaries depend only on (total, block_size), never on the
+/// pool, so per-block reductions are deterministic under any thread
+/// count.
+void ParallelForBlocked(size_t total, size_t block_size,
+                        const std::function<void(size_t, size_t)>& body);
 
 }  // namespace dpbr
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "tensor/ops.h"
 
 namespace dpbr {
@@ -58,9 +59,13 @@ Result<std::vector<float>> DpbrAggregator::Aggregate(
   // Algorithm 1 line 14: w ← w − η·(1/n)·Σ_{g ∈ G_s} g, or the
   // η·n/|G_s|-reparameterized variant (see UpdateScale).
   std::vector<float> out(ctx.dim, 0.0f);
-  for (size_t idx : selected) {
-    ops::Axpy(1.0f, filtered[idx].data(), out.data(), ctx.dim);
-  }
+  // Blocked by coordinate with the selected uploads accumulated in fixed
+  // order, so the sum is bit-identical under any pool size.
+  ParallelForBlocked(ctx.dim, 4096, [&](size_t lo, size_t hi) {
+    for (size_t idx : selected) {
+      ops::Axpy(1.0f, filtered[idx].data() + lo, out.data() + lo, hi - lo);
+    }
+  });
   double denom = options_.update_scale == UpdateScale::kOverTotal
                      ? static_cast<double>(n)
                      : static_cast<double>(std::max<size_t>(selected.size(),

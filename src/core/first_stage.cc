@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "stats/distributions.h"
 #include "stats/kolmogorov.h"
 #include "stats/ks_test.h"
@@ -56,11 +57,17 @@ std::vector<FirstStageVerdict> FirstStageFilter::Apply(
   std::vector<FirstStageVerdict> verdicts(uploads->size());
   FirstStageReport rep;
   rep.total = uploads->size();
-  for (size_t i = 0; i < uploads->size(); ++i) {
+  // Each upload's norm + KS test (the per-round validation hot path) is
+  // independent; the report tallies are folded afterwards in index order.
+  ParallelFor(0, uploads->size(), [&](size_t i) {
     verdicts[i] = Test((*uploads)[i], sigma_upload);
     if (!verdicts[i].accepted()) {
       // Algorithm 2: g ← 0.
       std::fill((*uploads)[i].begin(), (*uploads)[i].end(), 0.0f);
+    }
+  });
+  for (size_t i = 0; i < uploads->size(); ++i) {
+    if (!verdicts[i].accepted()) {
       if (!verdicts[i].passed_norm) {
         ++rep.rejected_norm;
       } else {

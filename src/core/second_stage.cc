@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "aggregators/aggregator.h"
+#include "common/thread_pool.h"
 #include "tensor/ops.h"
 
 namespace dpbr {
@@ -29,11 +30,13 @@ Result<std::vector<size_t>> SecondStageAggregator::SelectWorkers(
         "worker count changed mid-training; call Reset() first");
   }
 
-  // Lines 5-8: S_tmp[i] = ⟨g_i, g_s⟩.
+  // Lines 5-8: S_tmp[i] = ⟨g_i, g_s⟩. Each inner product is an
+  // independent per-index reduction, so the scores are bit-identical
+  // under any pool size.
   last_scores_.assign(n, 0.0);
-  for (size_t i = 0; i < n; ++i) {
+  ParallelFor(0, n, [&](size_t i) {
     last_scores_[i] = ops::Dot(uploads[i], server_gradient);
-  }
+  });
 
   // Line 9: μ̂ = mean of the top ⌈γn⌉ round scores.
   size_t k = agg::TrustedCount(gamma, n);

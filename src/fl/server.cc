@@ -1,32 +1,73 @@
 #include "fl/server.h"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "nn/loss.h"
 #include "tensor/ops.h"
 
 namespace dpbr {
 namespace fl {
+namespace {
+
+// Examples per task for the parallel inference loops; fixed so that any
+// blocked reduction order is independent of the pool size.
+constexpr size_t kExampleBlock = 64;
+
+}  // namespace
 
 Server::Server(nn::ModelFactory factory, agg::AggregatorPtr aggregator,
                data::DatasetView aux, uint64_t seed)
-    : model_(factory()), aggregator_(std::move(aggregator)),
+    : factory_(std::move(factory)), aggregator_(std::move(aggregator)),
       aux_(std::move(aux)) {
   DPBR_CHECK(aggregator_ != nullptr);
   SplitRng rng(seed, {0x5E4E4});
-  model_->InitParams(&rng);
-  params_ = model_->FlatParams();
+  std::unique_ptr<nn::Sequential> model = factory_();
+  model->InitParams(&rng);
+  params_ = model->FlatParams();
 }
 
 Status Server::Step(const std::vector<std::vector<float>>& uploads, double lr,
                     agg::AggregationContext ctx) {
   ctx.dim = params_.size();
+  // Scan every upload for non-finite values in parallel and neutralize
+  // offenders (g ← 0, as the first-stage filter does): a single NaN/Inf
+  // coordinate from a Byzantine client must poison neither the aggregate
+  // nor the round. Dimension validation stays with the aggregator's
+  // ValidateUploads. The copy is taken only under attack.
+  std::vector<uint8_t> finite(uploads.size(), 1);
+  ParallelFor(0, uploads.size(), [&](size_t i) {
+    for (float v : uploads[i]) {
+      if (!std::isfinite(v)) {
+        finite[i] = 0;
+        break;
+      }
+    }
+  });
+  bool all_finite = true;
+  for (uint8_t f : finite) all_finite &= f != 0;
+  std::vector<std::vector<float>> sanitized;
+  const std::vector<std::vector<float>>* effective = &uploads;
+  if (!all_finite) {
+    sanitized = uploads;
+    for (size_t i = 0; i < sanitized.size(); ++i) {
+      if (!finite[i]) {
+        std::fill(sanitized[i].begin(), sanitized[i].end(), 0.0f);
+      }
+    }
+    effective = &sanitized;
+  }
   std::vector<float> server_grad;
   if (aggregator_->NeedsServerGradient()) {
     DPBR_ASSIGN_OR_RETURN(server_grad, ComputeServerGradient());
     ctx.server_gradient = &server_grad;
   }
   DPBR_ASSIGN_OR_RETURN(std::vector<float> update,
-                        aggregator_->Aggregate(uploads, ctx));
+                        aggregator_->Aggregate(*effective, ctx));
   if (update.size() != params_.size()) {
     return Status::Internal("aggregated update dimension mismatch");
   }
@@ -41,30 +82,51 @@ Result<std::vector<float>> Server::ComputeServerGradient() {
         "aggregator needs a server gradient but no auxiliary data was "
         "provided");
   }
-  model_->SetParamsFrom(params_.data());
-  std::vector<float> acc(params_.size(), 0.0f);
-  std::vector<float> g(params_.size());
-  for (size_t i = 0; i < aux_.size(); ++i) {
-    model_->ZeroGrad();
-    Tensor logits = model_->Forward(aux_.ExampleTensor(i));
-    nn::LossGrad lg = nn::SoftmaxCrossEntropy(
-        logits, static_cast<size_t>(aux_.LabelAt(i)));
-    model_->Backward(lg.grad_logits);
-    model_->CopyGradsTo(g.data());
-    ops::Axpy(1.0f, g.data(), acc.data(), acc.size());
-  }
-  ops::Scale(1.0f / static_cast<float>(aux_.size()), acc.data(), acc.size());
+  // Per-example gradients share no state across blocks: each block runs a
+  // private model clone and accumulates its examples in index order; the
+  // per-block partials then fold in block order, so the result depends
+  // only on kExampleBlock, never on the pool size.
+  size_t dim = params_.size();
+  size_t num_blocks = (aux_.size() + kExampleBlock - 1) / kExampleBlock;
+  std::vector<std::vector<float>> partial(num_blocks);
+  ParallelForBlocked(aux_.size(), kExampleBlock, [&](size_t lo, size_t hi) {
+    std::unique_ptr<nn::Sequential> model = factory_();
+    model->SetParamsFrom(params_.data());
+    std::vector<float>& acc = partial[lo / kExampleBlock];
+    acc.assign(dim, 0.0f);
+    std::vector<float> g(dim);
+    for (size_t i = lo; i < hi; ++i) {
+      model->ZeroGrad();
+      Tensor logits = model->Forward(aux_.ExampleTensor(i));
+      nn::LossGrad lg = nn::SoftmaxCrossEntropy(
+          logits, static_cast<size_t>(aux_.LabelAt(i)));
+      model->Backward(lg.grad_logits);
+      model->CopyGradsTo(g.data());
+      ops::Axpy(1.0f, g.data(), acc.data(), dim);
+    }
+  });
+  std::vector<float> acc(dim, 0.0f);
+  for (const auto& p : partial) ops::Axpy(1.0f, p.data(), acc.data(), dim);
+  ops::Scale(1.0f / static_cast<float>(aux_.size()), acc.data(), dim);
   return acc;
 }
 
 double Server::EvaluateAccuracy(const data::DatasetView& view) {
   DPBR_CHECK(!view.empty());
-  model_->SetParamsFrom(params_.data());
+  // Inference-only; each block gets a private model clone and per-example
+  // hits land in disjoint slots (integer counting — exact under any
+  // schedule).
+  std::vector<uint8_t> hit(view.size(), 0);
+  ParallelForBlocked(view.size(), kExampleBlock, [&](size_t lo, size_t hi) {
+    std::unique_ptr<nn::Sequential> model = factory_();
+    model->SetParamsFrom(params_.data());
+    for (size_t i = lo; i < hi; ++i) {
+      Tensor logits = model->Forward(view.ExampleTensor(i));
+      hit[i] = static_cast<int>(nn::Argmax(logits)) == view.LabelAt(i);
+    }
+  });
   size_t correct = 0;
-  for (size_t i = 0; i < view.size(); ++i) {
-    Tensor logits = model_->Forward(view.ExampleTensor(i));
-    if (static_cast<int>(nn::Argmax(logits)) == view.LabelAt(i)) ++correct;
-  }
+  for (uint8_t h : hit) correct += h;
   return static_cast<double>(correct) / static_cast<double>(view.size());
 }
 

@@ -40,7 +40,9 @@ class Server {
   double EvaluateAccuracy(const data::DatasetView& view);
 
  private:
-  std::unique_ptr<nn::Sequential> model_;
+  // The server holds no resident model: params_ is the source of truth,
+  // and inference paths clone per-block models from factory_.
+  nn::ModelFactory factory_;
   agg::AggregatorPtr aggregator_;
   data::DatasetView aux_;
   std::vector<float> params_;

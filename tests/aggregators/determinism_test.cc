@@ -1,0 +1,191 @@
+// Thread-count invariance: every parallelized aggregation path must
+// produce bit-identical output under ThreadPool sizes 1, 2 and the
+// hardware concurrency. This is the contract that lets the trainer use
+// the global pool freely without perturbing paper reproductions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "aggregators/fltrust.h"
+#include "aggregators/krum.h"
+#include "aggregators/median.h"
+#include "aggregators/norm_bound.h"
+#include "aggregators/rfa.h"
+#include "aggregators/trimmed_mean.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/dpbr_aggregator.h"
+#include "core/first_stage.h"
+#include "core/second_stage.h"
+
+namespace dpbr {
+namespace {
+
+// Pool sizes the suite sweeps; hardware_concurrency is clamped up to 4 so
+// the parallel path is exercised even on single-core CI runners.
+std::vector<size_t> PoolSizes() {
+  size_t hw = std::max<size_t>(4, std::thread::hardware_concurrency());
+  return {1, 2, hw};
+}
+
+std::vector<std::vector<float>> FixedSeedUploads(size_t n, size_t dim,
+                                                 double sigma) {
+  SplitRng rng(7);
+  std::vector<std::vector<float>> uploads(n);
+  for (size_t i = 0; i < n; ++i) {
+    uploads[i].resize(dim);
+    SplitRng w = rng.Split(i);
+    w.FillGaussian(uploads[i].data(), dim, sigma);
+  }
+  return uploads;
+}
+
+// Runs `make_result` once per pool size under a ScopedPoolOverride and
+// checks all outputs are bit-identical to the single-thread run.
+template <typename Fn>
+void ExpectPoolInvariant(const Fn& make_result) {
+  std::vector<std::vector<float>> results;
+  for (size_t size : PoolSizes()) {
+    ThreadPool pool(size);
+    ScopedPoolOverride override(&pool);
+    results.push_back(make_result());
+  }
+  for (size_t i = 1; i < results.size(); ++i) {
+    ASSERT_EQ(results[0].size(), results[i].size());
+    for (size_t k = 0; k < results[0].size(); ++k) {
+      ASSERT_EQ(results[0][k], results[i][k])
+          << "coordinate " << k << " differs between pool sizes "
+          << PoolSizes()[0] << " and " << PoolSizes()[i];
+    }
+  }
+}
+
+agg::AggregationContext Ctx(size_t dim, double gamma = 0.6) {
+  agg::AggregationContext ctx;
+  ctx.dim = dim;
+  ctx.gamma = gamma;
+  return ctx;
+}
+
+constexpr size_t kN = 24;
+// Off the block-size grid on purpose: exercises the ragged final block of
+// every coordinate-blocked kernel.
+constexpr size_t kDim = 5003;
+
+TEST(AggregatorDeterminismTest, Krum) {
+  auto uploads = FixedSeedUploads(kN, kDim, 0.3);
+  ExpectPoolInvariant([&] {
+    agg::KrumAggregator krum;
+    return krum.Aggregate(uploads, Ctx(kDim)).value();
+  });
+}
+
+TEST(AggregatorDeterminismTest, MultiKrum) {
+  auto uploads = FixedSeedUploads(kN, kDim, 0.3);
+  ExpectPoolInvariant([&] {
+    agg::KrumAggregator krum(5);
+    return krum.Aggregate(uploads, Ctx(kDim)).value();
+  });
+}
+
+TEST(AggregatorDeterminismTest, RfaGeometricMedian) {
+  auto uploads = FixedSeedUploads(kN, kDim, 0.3);
+  ExpectPoolInvariant([&] {
+    agg::RfaAggregator rfa;
+    return rfa.Aggregate(uploads, Ctx(kDim)).value();
+  });
+}
+
+TEST(AggregatorDeterminismTest, CoordinateMedian) {
+  auto uploads = FixedSeedUploads(kN, kDim, 0.3);
+  ExpectPoolInvariant([&] {
+    agg::CoordinateMedianAggregator median;
+    return median.Aggregate(uploads, Ctx(kDim)).value();
+  });
+}
+
+TEST(AggregatorDeterminismTest, TrimmedMean) {
+  auto uploads = FixedSeedUploads(kN, kDim, 0.3);
+  ExpectPoolInvariant([&] {
+    agg::TrimmedMeanAggregator trimmed(0.2);
+    return trimmed.Aggregate(uploads, Ctx(kDim)).value();
+  });
+}
+
+TEST(AggregatorDeterminismTest, FlTrust) {
+  auto uploads = FixedSeedUploads(kN, kDim, 0.3);
+  std::vector<float> server_grad(kDim);
+  SplitRng rng(11);
+  rng.FillGaussian(server_grad.data(), kDim, 0.3);
+  ExpectPoolInvariant([&] {
+    agg::FlTrustAggregator fltrust;
+    agg::AggregationContext ctx = Ctx(kDim);
+    ctx.server_gradient = &server_grad;
+    return fltrust.Aggregate(uploads, ctx).value();
+  });
+}
+
+TEST(AggregatorDeterminismTest, NormBoundAdaptive) {
+  auto uploads = FixedSeedUploads(kN, kDim, 0.3);
+  ExpectPoolInvariant([&] {
+    agg::NormBoundAggregator norm_bound;
+    return norm_bound.Aggregate(uploads, Ctx(kDim)).value();
+  });
+}
+
+TEST(AggregatorDeterminismTest, DpbrTwoStage) {
+  auto uploads = FixedSeedUploads(kN, kDim, 0.3);
+  std::vector<float> server_grad(kDim);
+  SplitRng rng(13);
+  rng.FillGaussian(server_grad.data(), kDim, 0.3);
+  ExpectPoolInvariant([&] {
+    core::DpbrAggregator aggregator;  // fresh: cumulative scores reset
+    agg::AggregationContext ctx = Ctx(kDim, 0.5);
+    ctx.sigma_upload = 0.3;
+    ctx.server_gradient = &server_grad;
+    return aggregator.Aggregate(uploads, ctx).value();
+  });
+}
+
+TEST(FirstStageDeterminismTest, ApplyVerdictsAndZeroing) {
+  auto uploads = FixedSeedUploads(kN, kDim, 0.3);
+  // Inject two uploads the filter must reject (norm far outside the
+  // window) so the zeroing path runs under every pool size.
+  std::fill(uploads[3].begin(), uploads[3].end(), 2.0f);
+  std::fill(uploads[17].begin(), uploads[17].end(), -1.5f);
+  core::FirstStageFilter filter{core::ProtocolOptions{}};
+  ExpectPoolInvariant([&] {
+    auto copy = uploads;
+    core::FirstStageReport report;
+    filter.Apply(&copy, 0.3, &report);
+    // Flatten verdict side effects: the zeroed uploads are the output.
+    std::vector<float> flat;
+    flat.reserve(kN * kDim);
+    for (const auto& u : copy) flat.insert(flat.end(), u.begin(), u.end());
+    return flat;
+  });
+}
+
+TEST(SecondStageDeterminismTest, SelectionOrderIsStable) {
+  auto uploads = FixedSeedUploads(kN, kDim, 0.3);
+  std::vector<float> server_grad(kDim);
+  SplitRng rng(17);
+  rng.FillGaussian(server_grad.data(), kDim, 0.3);
+  ExpectPoolInvariant([&] {
+    core::SecondStageAggregator second_stage;
+    std::vector<float> flat;
+    // Two rounds: the second exercises the cumulative-score path.
+    for (int round = 0; round < 2; ++round) {
+      auto selected =
+          second_stage.SelectWorkers(uploads, server_grad, 0.5).value();
+      for (size_t idx : selected) flat.push_back(static_cast<float>(idx));
+    }
+    return flat;
+  });
+}
+
+}  // namespace
+}  // namespace dpbr

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "aggregators/fltrust.h"
 #include "aggregators/mean.h"
 #include "data/synthetic.h"
@@ -83,6 +86,24 @@ TEST(ServerTest, MissingAuxDataIsAnError) {
   auto grad = s.ComputeServerGradient();
   EXPECT_FALSE(grad.ok());
   EXPECT_EQ(grad.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ServerTest, NonFiniteUploadIsNeutralizedNotFatal) {
+  // A Byzantine NaN/Inf upload must not abort the round; the server
+  // zeroes it (as the first-stage filter would) before aggregating.
+  Server s(nn::MlpFactory(16, 8, 4), std::make_unique<agg::MeanAggregator>(),
+           data::DatasetView(), 1);
+  std::vector<float> before = s.params();
+  std::vector<float> direction(s.dim(), 1.0f);
+  std::vector<float> poisoned(s.dim(), 1.0f);
+  poisoned[3] = std::nan("");
+  poisoned[7] = std::numeric_limits<float>::infinity();
+  agg::AggregationContext ctx;
+  ASSERT_TRUE(s.Step({direction, poisoned}, 0.5, ctx).ok());
+  // Mean of {1, 0} per coordinate = 0.5, scaled by lr 0.5.
+  for (size_t i = 0; i < s.dim(); ++i) {
+    EXPECT_FLOAT_EQ(s.params()[i], before[i] - 0.25f);
+  }
 }
 
 TEST(ServerTest, UntrainedAccuracyIsNearChance) {
