@@ -1,0 +1,237 @@
+// Micro-benchmarks (google-benchmark) for the nn compute layer: the
+// im2col+GEMM Conv2d against the naive reference kernel at the
+// CIFAR-like acceptance shape (3→32 channels, 32×32, k=3), raw GEMM
+// throughput, batched Linear, and a full DP worker local step
+// (HonestDpWorker::ComputeUpdate) on both MLP and CNN models.
+//
+// Before timing, main() asserts the GEMM conv is bit-identical under
+// serial and parallel pools at the acceptance shape, mirroring
+// bench_micro's Krum determinism check.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "data/synthetic.h"
+#include "fl/worker.h"
+#include "nn/conv2d.h"
+#include "nn/gemm.h"
+#include "nn/linear.h"
+#include "nn/model_zoo.h"
+
+namespace {
+
+using namespace dpbr;
+
+// The acceptance shape: 3→32 channels, 32×32 input, k=3, same padding.
+constexpr size_t kInCh = 3;
+constexpr size_t kOutCh = 32;
+constexpr size_t kImg = 32;
+constexpr size_t kKernel = 3;
+constexpr size_t kPad = 1;
+
+Tensor RandomImage(uint64_t seed) {
+  SplitRng rng(seed);
+  Tensor x({kInCh, kImg, kImg});
+  x.FillGaussian(&rng, 1.0);
+  return x;
+}
+
+nn::Conv2d MakeConv(nn::Conv2dKernel kernel) {
+  nn::Conv2d conv(kInCh, kOutCh, kKernel, kPad, kernel);
+  SplitRng rng(3);
+  conv.InitParams(&rng);
+  return conv;
+}
+
+void ConvForward(benchmark::State& state, nn::Conv2dKernel kernel) {
+  nn::Conv2d conv = MakeConv(kernel);
+  Tensor x = RandomImage(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(x));
+  }
+  state.SetItemsProcessed(state.iterations() * kOutCh * kImg * kImg);
+}
+
+void BM_Conv2dForward(benchmark::State& state) {
+  ConvForward(state, nn::Conv2dKernel::kGemm);
+}
+BENCHMARK(BM_Conv2dForward)->Unit(benchmark::kMicrosecond);
+
+void BM_Conv2dForwardNaive(benchmark::State& state) {
+  ConvForward(state, nn::Conv2dKernel::kNaive);
+}
+BENCHMARK(BM_Conv2dForwardNaive)->Unit(benchmark::kMicrosecond);
+
+void ConvBackward(benchmark::State& state, nn::Conv2dKernel kernel) {
+  nn::Conv2d conv = MakeConv(kernel);
+  Tensor x = RandomImage(5);
+  Tensor y = conv.Forward(x);
+  SplitRng rng(7);
+  Tensor gy(y.shape());
+  gy.FillGaussian(&rng, 1.0);
+  for (auto _ : state) {
+    conv.ZeroGrad();
+    benchmark::DoNotOptimize(conv.Backward(gy));
+  }
+  state.SetItemsProcessed(state.iterations() * kOutCh * kImg * kImg);
+}
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  ConvBackward(state, nn::Conv2dKernel::kGemm);
+}
+BENCHMARK(BM_Conv2dBackward)->Unit(benchmark::kMicrosecond);
+
+void BM_Conv2dBackwardNaive(benchmark::State& state) {
+  ConvBackward(state, nn::Conv2dKernel::kNaive);
+}
+BENCHMARK(BM_Conv2dBackwardNaive)->Unit(benchmark::kMicrosecond);
+
+// Raw GEMM throughput at the conv-lowered shape:
+// (32 × 27) · (27 × 1024) per forward.
+void BM_GemmConvShape(benchmark::State& state) {
+  size_t m = kOutCh, k = kInCh * kKernel * kKernel, n = kImg * kImg;
+  SplitRng rng(9);
+  std::vector<float> a(m * k), b(k * n), c(m * n);
+  rng.FillGaussian(a.data(), a.size(), 1.0);
+  rng.FillGaussian(b.data(), b.size(), 1.0);
+  for (auto _ : state) {
+    nn::GemmNN(m, k, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * k * n);
+}
+BENCHMARK(BM_GemmConvShape)->Unit(benchmark::kMicrosecond);
+
+// Batched Linear forward at the e2e model shape (batch 16, 512→32).
+void BM_LinearForwardBatch(benchmark::State& state) {
+  nn::Linear linear(512, 32);
+  SplitRng rng(11);
+  linear.InitParams(&rng);
+  Tensor x({16, 512});
+  x.FillGaussian(&rng, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linear.ForwardBatch(x));
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * 512 * 32);
+}
+BENCHMARK(BM_LinearForwardBatch)->Unit(benchmark::kMicrosecond);
+
+data::DatasetBundle ImageBundle(size_t side) {
+  data::SyntheticSpec spec;
+  spec.num_classes = 10;
+  spec.feature_dim = side * side;
+  spec.image_h = side;
+  spec.image_w = side;
+  spec.train_size = 256;
+  spec.val_size = 32;
+  spec.test_size = 32;
+  auto b = data::GenerateSynthetic(spec, 13);
+  if (!b.ok()) {
+    std::fprintf(stderr, "FATAL: synthetic bundle: %s\n",
+                 b.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(b).value();
+}
+
+data::DatasetBundle FlatBundle() {
+  data::SyntheticSpec spec;
+  spec.num_classes = 10;
+  spec.feature_dim = 64;
+  spec.train_size = 256;
+  spec.val_size = 32;
+  spec.test_size = 32;
+  auto b = data::GenerateSynthetic(spec, 13);
+  if (!b.ok()) {
+    std::fprintf(stderr, "FATAL: synthetic bundle: %s\n",
+                 b.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(b).value();
+}
+
+// One full DP local step (Algorithm 1 lines 5-11): microbatch gradients,
+// momentum, normalization, upload — the per-round unit of worker cost.
+void LocalStep(benchmark::State& state, const data::DatasetBundle& bundle,
+               nn::ModelFactory factory) {
+  fl::WorkerOptions opts;
+  opts.batch_size = 16;
+  opts.sigma = 0.3;
+  fl::HonestDpWorker worker(0, data::DatasetView::All(&bundle.train),
+                            factory, opts, 17);
+  std::vector<float> params(worker.dim(), 0.01f);
+  int round = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(worker.ComputeUpdate(params, round++));
+  }
+  state.counters["d"] = static_cast<double>(worker.dim());
+  state.SetItemsProcessed(state.iterations() * opts.batch_size);
+}
+
+void BM_LocalStepMlp(benchmark::State& state) {
+  data::DatasetBundle bundle = FlatBundle();
+  LocalStep(state, bundle, nn::MlpFactory(64, 128, 10));
+}
+BENCHMARK(BM_LocalStepMlp)->Unit(benchmark::kMillisecond);
+
+void BM_LocalStepCnn(benchmark::State& state) {
+  data::DatasetBundle bundle = ImageBundle(32);
+  LocalStep(state, bundle, nn::CnnFactory(1, kOutCh, kKernel, 10));
+}
+BENCHMARK(BM_LocalStepCnn)->Unit(benchmark::kMillisecond);
+
+// GEMM conv must agree with itself bit-for-bit across pool sizes, and
+// with the naive kernel to 1e-4 — checked before the timing loops so a
+// regression fails the bench smoke job loudly.
+void CheckConvDeterminism() {
+  size_t hw = std::max<size_t>(4, std::thread::hardware_concurrency());
+  Tensor x = RandomImage(5);
+  std::vector<Tensor> outs;
+  for (size_t threads : {size_t{1}, size_t{2}, hw}) {
+    ThreadPool pool(threads);
+    ScopedPoolOverride override_pool(&pool);
+    nn::Conv2d conv = MakeConv(nn::Conv2dKernel::kGemm);
+    outs.push_back(conv.Forward(x));
+  }
+  for (size_t i = 1; i < outs.size(); ++i) {
+    for (size_t j = 0; j < outs[0].size(); ++j) {
+      if (outs[0][j] != outs[i][j]) {
+        std::fprintf(stderr,
+                     "FATAL: GEMM conv differs across pool sizes\n");
+        std::exit(1);
+      }
+    }
+  }
+  nn::Conv2d naive = MakeConv(nn::Conv2dKernel::kNaive);
+  Tensor yn = naive.Forward(x);
+  for (size_t j = 0; j < yn.size(); ++j) {
+    double scale = std::max(1.0, std::abs(static_cast<double>(yn[j])));
+    if (std::abs(static_cast<double>(yn[j]) - outs[0][j]) > 1e-4 * scale) {
+      std::fprintf(stderr, "FATAL: GEMM conv diverges from naive kernel\n");
+      std::exit(1);
+    }
+  }
+  std::fprintf(stderr,
+               "conv determinism check: pools {1,2,%zu} bit-identical, "
+               "naive agreement within 1e-4\n",
+               hw);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CheckConvDeterminism();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

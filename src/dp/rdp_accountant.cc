@@ -62,17 +62,25 @@ double LogAbsBinom(double alpha, int i, int* sign) {
 
 // log A(α) for integer α >= 2 (Mironov et al. 2019, eq. for integer
 // orders): A = Σ_{i=0}^{α} C(α,i) (1-q)^{α-i} q^i exp(i(i-1)/(2σ²)).
+// The binomial coefficient is carried incrementally —
+// log C(α,i+1) = log C(α,i) + log(α-i) - log(i+1), every factor positive
+// for integer α — making the sum O(α) instead of the O(α²) of
+// recomputing LogAbsBinom per term. With α up to 1024 in the default
+// order grid and ~80 bisection steps per calibration, that difference
+// dominates the accountant's runtime.
 double LogAInt(double q, double sigma, int alpha) {
   double log_a = kNegInf;
   double log_q = std::log(q);
   double log_1mq = std::log1p(-q);
+  double log_coef = 0.0;  // log C(α, 0)
   for (int i = 0; i <= alpha; ++i) {
-    int sign = 1;
-    double log_coef = LogAbsBinom(static_cast<double>(alpha), i, &sign);
-    DPBR_CHECK_EQ(sign, 1);
     double s = log_coef + i * log_q + (alpha - i) * log_1mq +
                (static_cast<double>(i) * (i - 1)) / (2.0 * sigma * sigma);
     log_a = LogAddExp(log_a, s);
+    if (i < alpha) {
+      log_coef += std::log(static_cast<double>(alpha - i)) -
+                  std::log(static_cast<double>(i + 1));
+    }
   }
   return log_a;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 
 #include "common/logging.h"
@@ -17,6 +18,22 @@ namespace {
 // Examples per task for the parallel inference loops; fixed so that any
 // blocked reduction order is independent of the pool size.
 constexpr size_t kExampleBlock = 64;
+
+// Copies examples [lo, hi) of `view` into one (hi-lo, example_shape...)
+// microbatch tensor for the batched kernels.
+Tensor BatchOf(const data::DatasetView& view, size_t lo, size_t hi) {
+  const data::Dataset* base = view.base();
+  size_t feature_dim = base->feature_dim();
+  std::vector<size_t> shape;
+  shape.push_back(hi - lo);
+  for (size_t d : base->example_shape()) shape.push_back(d);
+  Tensor x(std::move(shape));
+  for (size_t i = lo; i < hi; ++i) {
+    std::memcpy(x.data() + (i - lo) * feature_dim, view.FeaturesAt(i),
+                feature_dim * sizeof(float));
+  }
+  return x;
+}
 
 }  // namespace
 
@@ -94,15 +111,22 @@ Result<std::vector<float>> Server::ComputeServerGradient() {
     model->SetParamsFrom(params_.data());
     std::vector<float>& acc = partial[lo / kExampleBlock];
     acc.assign(dim, 0.0f);
-    std::vector<float> g(dim);
+    // One batched forward/backward per block; per-example rows are then
+    // folded in index order, matching the old per-example reduction.
+    size_t n = hi - lo;
+    Tensor x = BatchOf(aux_, lo, hi);
+    std::vector<size_t> labels(n);
     for (size_t i = lo; i < hi; ++i) {
-      model->ZeroGrad();
-      Tensor logits = model->Forward(aux_.ExampleTensor(i));
-      nn::LossGrad lg = nn::SoftmaxCrossEntropy(
-          logits, static_cast<size_t>(aux_.LabelAt(i)));
-      model->Backward(lg.grad_logits);
-      model->CopyGradsTo(g.data());
-      ops::Axpy(1.0f, g.data(), acc.data(), dim);
+      labels[i - lo] = static_cast<size_t>(aux_.LabelAt(i));
+    }
+    Tensor logits = model->ForwardBatch(x);
+    nn::BatchLossGrad lg = nn::SoftmaxCrossEntropyBatch(logits, labels);
+    // The vector constructor already zero-fills, so call BackwardBatch
+    // directly rather than BackwardBatchTo (which would memset again).
+    std::vector<float> grads(n * dim);
+    model->BackwardBatch(lg.grad_logits, {grads.data(), dim, 0});
+    for (size_t j = 0; j < n; ++j) {
+      ops::Axpy(1.0f, grads.data() + j * dim, acc.data(), dim);
     }
   });
   std::vector<float> acc(dim, 0.0f);
@@ -120,9 +144,11 @@ double Server::EvaluateAccuracy(const data::DatasetView& view) {
   ParallelForBlocked(view.size(), kExampleBlock, [&](size_t lo, size_t hi) {
     std::unique_ptr<nn::Sequential> model = factory_();
     model->SetParamsFrom(params_.data());
+    Tensor logits = model->ForwardBatch(BatchOf(view, lo, hi));
+    size_t classes = logits.dim(1);
     for (size_t i = lo; i < hi; ++i) {
-      Tensor logits = model->Forward(view.ExampleTensor(i));
-      hit[i] = static_cast<int>(nn::Argmax(logits)) == view.LabelAt(i);
+      const float* row = logits.data() + (i - lo) * classes;
+      hit[i] = static_cast<int>(nn::Argmax(row, classes)) == view.LabelAt(i);
     }
   });
   size_t correct = 0;

@@ -1,5 +1,7 @@
 #include "fl/worker.h"
 
+#include <cstring>
+
 #include "common/logging.h"
 #include "nn/loss.h"
 #include "tensor/ops.h"
@@ -22,18 +24,8 @@ HonestDpWorker::HonestDpWorker(int id, data::DatasetView shard,
   dim_ = model_->NumParams();
   momentum_.assign(static_cast<size_t>(options_.batch_size),
                    std::vector<float>(dim_, 0.0f));
-}
-
-void HonestDpWorker::PerExampleGradient(size_t example_index,
-                                        std::vector<float>* out) {
-  model_->ZeroGrad();
-  Tensor x = shard_.ExampleTensor(example_index);
-  Tensor logits = model_->Forward(x);
-  nn::LossGrad lg = nn::SoftmaxCrossEntropy(
-      logits, static_cast<size_t>(shard_.LabelAt(example_index)));
-  model_->Backward(lg.grad_logits);
-  out->resize(dim_);
-  model_->CopyGradsTo(out->data());
+  per_example_grads_.assign(static_cast<size_t>(options_.batch_size) * dim_,
+                            0.0f);
 }
 
 std::vector<float> HonestDpWorker::ComputeUpdate(
@@ -54,11 +46,29 @@ std::vector<float> HonestDpWorker::ComputeUpdate(
     for (auto& b : batch) b = rng.UniformInt(shard_.size());
   }
 
-  // Lines 6-9: per-example gradients into the per-slot momentum list.
-  std::vector<float> g(dim_);
+  // Lines 6-9: per-example gradients, computed as one microbatch through
+  // the batched kernels — a single forward/backward invocation per layer
+  // with each example's flat gradient landing in its own row of
+  // per_example_grads_ — then folded into the per-slot momentum list.
+  const data::Dataset* base = shard_.base();
+  size_t feature_dim = base->feature_dim();
+  std::vector<size_t> batch_shape;
+  batch_shape.push_back(bc);
+  for (size_t d : base->example_shape()) batch_shape.push_back(d);
+  Tensor x(std::move(batch_shape));
+  std::vector<size_t> labels(bc);
+  for (size_t j = 0; j < bc; ++j) {
+    std::memcpy(x.data() + j * feature_dim, shard_.FeaturesAt(batch[j]),
+                feature_dim * sizeof(float));
+    labels[j] = static_cast<size_t>(shard_.LabelAt(batch[j]));
+  }
+  Tensor logits = model_->ForwardBatch(x);
+  nn::BatchLossGrad lg = nn::SoftmaxCrossEntropyBatch(logits, labels);
+  model_->BackwardBatchTo(lg.grad_logits, bc, per_example_grads_.data());
+
   double one_minus_beta = 1.0 - options_.beta;
   for (size_t j = 0; j < bc; ++j) {
-    PerExampleGradient(batch[j], &g);
+    const float* g = per_example_grads_.data() + j * dim_;
     std::vector<float>& phi = momentum_[j];
     float b = static_cast<float>(options_.beta);
     float omb = static_cast<float>(one_minus_beta);

@@ -53,9 +53,6 @@ class HonestDpWorker {
   size_t shard_size() const { return shard_.size(); }
 
  private:
-  /// Per-example gradient of the loss at the model's current parameters.
-  void PerExampleGradient(size_t example_index, std::vector<float>* out);
-
   int id_;
   data::DatasetView shard_;
   std::unique_ptr<nn::Sequential> model_;
@@ -64,6 +61,9 @@ class HonestDpWorker {
   size_t dim_;
   /// Momentum list φ: batch_size slots of dimension d (Algorithm 1 line 1).
   std::vector<std::vector<float>> momentum_;
+  /// Reused (batch_size × d) buffer the batched backward pass writes each
+  /// example's flat gradient into (row j = example j).
+  std::vector<float> per_example_grads_;
 };
 
 }  // namespace fl

@@ -8,7 +8,6 @@ namespace dpbr {
 namespace nn {
 
 Tensor Elu::Forward(const Tensor& x) {
-  cached_input_ = x;
   Tensor y = x;
   float a = static_cast<float>(alpha_);
   for (size_t i = 0; i < y.size(); ++i) {
@@ -19,12 +18,12 @@ Tensor Elu::Forward(const Tensor& x) {
 }
 
 Tensor Elu::Backward(const Tensor& grad_out) {
-  DPBR_CHECK(grad_out.SameShape(cached_input_));
+  DPBR_CHECK(grad_out.SameShape(cached_output_));
   Tensor dx = grad_out;
   float a = static_cast<float>(alpha_);
   for (size_t i = 0; i < dx.size(); ++i) {
-    if (cached_input_[i] <= 0.0f) {
-      // d/dx α(eˣ-1) = αeˣ = y + α.
+    // ELU preserves sign, so y <= 0 ⟺ x <= 0, where d/dx α(eˣ-1) = y + α.
+    if (cached_output_[i] <= 0.0f) {
       dx[i] *= cached_output_[i] + a;
     }
   }
@@ -32,19 +31,20 @@ Tensor Elu::Backward(const Tensor& grad_out) {
 }
 
 Tensor Relu::Forward(const Tensor& x) {
-  cached_input_ = x;
   Tensor y = x;
   for (size_t i = 0; i < y.size(); ++i) {
     if (y[i] < 0.0f) y[i] = 0.0f;
   }
+  cached_output_ = y;
   return y;
 }
 
 Tensor Relu::Backward(const Tensor& grad_out) {
-  DPBR_CHECK(grad_out.SameShape(cached_input_));
+  DPBR_CHECK(grad_out.SameShape(cached_output_));
   Tensor dx = grad_out;
   for (size_t i = 0; i < dx.size(); ++i) {
-    if (cached_input_[i] <= 0.0f) dx[i] = 0.0f;
+    // y == 0 ⟺ x <= 0 (the subgradient-0 convention the old path used).
+    if (cached_output_[i] == 0.0f) dx[i] = 0.0f;
   }
   return dx;
 }

@@ -1,4 +1,10 @@
 // Elementwise activation layers: ELU (the paper's networks) and ReLU.
+//
+// Both cache only their *output*: each function's derivative is
+// recoverable from the output sign (x <= 0 ⟺ y <= 0 for ELU, y == 0 for
+// ReLU), which halves the cached state. Being elementwise, the batched
+// path is the per-example path — the leading batch dimension needs no
+// special handling.
 
 #ifndef DPBR_NN_ACTIVATIONS_H_
 #define DPBR_NN_ACTIVATIONS_H_
@@ -17,11 +23,15 @@ class Elu : public Layer {
 
   Tensor Forward(const Tensor& x) override;
   Tensor Backward(const Tensor& grad_out) override;
+  Tensor ForwardBatch(const Tensor& x) override { return Forward(x); }
+  Tensor BackwardBatch(const Tensor& grad_out,
+                       const PerExampleGradSink& /*sink*/) override {
+    return Backward(grad_out);
+  }
   std::string name() const override { return "ELU"; }
 
  private:
   double alpha_;
-  Tensor cached_input_;
   Tensor cached_output_;
 };
 
@@ -30,10 +40,15 @@ class Relu : public Layer {
  public:
   Tensor Forward(const Tensor& x) override;
   Tensor Backward(const Tensor& grad_out) override;
+  Tensor ForwardBatch(const Tensor& x) override { return Forward(x); }
+  Tensor BackwardBatch(const Tensor& grad_out,
+                       const PerExampleGradSink& /*sink*/) override {
+    return Backward(grad_out);
+  }
   std::string name() const override { return "ReLU"; }
 
  private:
-  Tensor cached_input_;
+  Tensor cached_output_;
 };
 
 }  // namespace nn

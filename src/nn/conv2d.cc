@@ -1,18 +1,28 @@
 #include "nn/conv2d.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "common/logging.h"
 
 namespace dpbr {
 namespace nn {
+namespace {
+
+// Workspace slots (per layer instance).
+constexpr size_t kColSlot = 0;    // im2col matrix, K × OH·OW
+constexpr size_t kInputSlot = 1;  // cached forward input(s)
+constexpr size_t kDcolSlot = 2;   // column-space gradient, K × OH·OW
+
+}  // namespace
 
 Conv2d::Conv2d(size_t in_channels, size_t out_channels, size_t kernel_size,
-               size_t padding)
+               size_t padding, Conv2dKernel kernel)
     : in_ch_(in_channels),
       out_ch_(out_channels),
       k_(kernel_size),
       pad_(padding),
+      kernel_(kernel),
       weight_(out_channels * in_channels * kernel_size * kernel_size, 0.0f),
       bias_(out_channels, 0.0f),
       weight_grad_(weight_.size(), 0.0f),
@@ -22,16 +32,50 @@ Conv2d::Conv2d(size_t in_channels, size_t out_channels, size_t kernel_size,
   DPBR_CHECK_GT(k_, 0u);
 }
 
-Tensor Conv2d::Forward(const Tensor& x) {
-  DPBR_CHECK_EQ(x.ndim(), 3u);
-  DPBR_CHECK_EQ(x.dim(0), in_ch_);
-  size_t h = x.dim(1), w = x.dim(2);
-  DPBR_CHECK_GE(h + 2 * pad_ + 1, k_);
-  DPBR_CHECK_GE(w + 2 * pad_ + 1, k_);
+void Conv2d::ForwardOne(const float* x, size_t h, size_t w, float* y) {
+  if (kernel_ == Conv2dKernel::kNaive) {
+    NaiveForwardOne(x, h, w, y);
+    return;
+  }
   size_t oh = h + 2 * pad_ - k_ + 1;
   size_t ow = w + 2 * pad_ - k_ + 1;
-  cached_input_ = x;
-  Tensor y({out_ch_, oh, ow});
+  size_t kk = in_ch_ * k_ * k_;
+  float* col = ws_.Get(kColSlot, kk * oh * ow);
+  Im2Col(x, in_ch_, h, w, k_, pad_, col);
+  GemmNN(out_ch_, kk, oh * ow, weight_.data(), col, y, bias_.data());
+}
+
+void Conv2d::BackwardOne(const float* x, const float* gy, size_t h, size_t w,
+                         float* wgrad, float* bgrad, float* dx) {
+  if (kernel_ == Conv2dKernel::kNaive) {
+    NaiveBackwardOne(x, gy, h, w, wgrad, bgrad, dx);
+    return;
+  }
+  size_t oh = h + 2 * pad_ - k_ + 1;
+  size_t ow = w + 2 * pad_ - k_ + 1;
+  size_t q = oh * ow;
+  size_t kk = in_ch_ * k_ * k_;
+  // dW += dY · Colᵀ  (the column matrix is recomputed rather than cached
+  // across the pass: one K×Q buffer per layer instead of one per example).
+  float* col = ws_.Get(kColSlot, kk * q);
+  Im2Col(x, in_ch_, h, w, k_, pad_, col);
+  GemmNT(out_ch_, q, kk, gy, col, wgrad, /*accumulate=*/true);
+  // db += row sums of dY.
+  for (size_t oc = 0; oc < out_ch_; ++oc) {
+    const float* row = gy + oc * q;
+    double s = 0.0;
+    for (size_t i = 0; i < q; ++i) s += row[i];
+    bgrad[oc] += static_cast<float>(s);
+  }
+  // dX = col2im(Wᵀ · dY).
+  float* dcol = ws_.Get(kDcolSlot, kk * q);
+  GemmTN(kk, out_ch_, q, weight_.data(), gy, dcol);
+  Col2ImAccumulate(dcol, in_ch_, h, w, k_, pad_, dx);
+}
+
+void Conv2d::NaiveForwardOne(const float* x, size_t h, size_t w, float* y) {
+  size_t oh = h + 2 * pad_ - k_ + 1;
+  size_t ow = w + 2 * pad_ - k_ + 1;
   for (size_t oc = 0; oc < out_ch_; ++oc) {
     for (size_t i = 0; i < oh; ++i) {
       for (size_t j = 0; j < ow; ++j) {
@@ -47,34 +91,28 @@ Tensor Conv2d::Forward(const Tensor& x) {
                              static_cast<long long>(pad_);
               if (iw < 0 || iw >= static_cast<long long>(w)) continue;
               s += static_cast<double>(W(oc, ic, kh, kw)) *
-                   x.at(ic, static_cast<size_t>(ih), static_cast<size_t>(iw));
+                   x[(ic * h + static_cast<size_t>(ih)) * w +
+                     static_cast<size_t>(iw)];
             }
           }
         }
-        y.at(oc, i, j) = static_cast<float>(s);
+        y[(oc * oh + i) * ow + j] = static_cast<float>(s);
       }
     }
   }
-  return y;
 }
 
-Tensor Conv2d::Backward(const Tensor& grad_out) {
-  const Tensor& x = cached_input_;
-  size_t h = x.dim(1), w = x.dim(2);
+void Conv2d::NaiveBackwardOne(const float* x, const float* gy, size_t h,
+                              size_t w, float* wgrad, float* bgrad,
+                              float* dx) {
   size_t oh = h + 2 * pad_ - k_ + 1;
   size_t ow = w + 2 * pad_ - k_ + 1;
-  DPBR_CHECK_EQ(grad_out.ndim(), 3u);
-  DPBR_CHECK_EQ(grad_out.dim(0), out_ch_);
-  DPBR_CHECK_EQ(grad_out.dim(1), oh);
-  DPBR_CHECK_EQ(grad_out.dim(2), ow);
-
-  Tensor dx({in_ch_, h, w});
   for (size_t oc = 0; oc < out_ch_; ++oc) {
     for (size_t i = 0; i < oh; ++i) {
       for (size_t j = 0; j < ow; ++j) {
-        float g = grad_out.at(oc, i, j);
+        float g = gy[(oc * oh + i) * ow + j];
         if (g == 0.0f) continue;
-        bias_grad_[oc] += g;
+        bgrad[oc] += g;
         for (size_t ic = 0; ic < in_ch_; ++ic) {
           for (size_t kh = 0; kh < k_; ++kh) {
             long long ih = static_cast<long long>(i + kh) -
@@ -84,16 +122,98 @@ Tensor Conv2d::Backward(const Tensor& grad_out) {
               long long iw = static_cast<long long>(j + kw) -
                              static_cast<long long>(pad_);
               if (iw < 0 || iw >= static_cast<long long>(w)) continue;
-              float xv =
-                  x.at(ic, static_cast<size_t>(ih), static_cast<size_t>(iw));
-              Wg(oc, ic, kh, kw) += g * xv;
-              dx.at(ic, static_cast<size_t>(ih), static_cast<size_t>(iw)) +=
-                  g * W(oc, ic, kh, kw);
+              size_t in_idx = (ic * h + static_cast<size_t>(ih)) * w +
+                              static_cast<size_t>(iw);
+              wgrad[((oc * in_ch_ + ic) * k_ + kh) * k_ + kw] += g * x[in_idx];
+              dx[in_idx] += g * W(oc, ic, kh, kw);
             }
           }
         }
       }
     }
+  }
+}
+
+Tensor Conv2d::Forward(const Tensor& x) {
+  DPBR_CHECK_EQ(x.ndim(), 3u);
+  DPBR_CHECK_EQ(x.dim(0), in_ch_);
+  size_t h = x.dim(1), w = x.dim(2);
+  DPBR_CHECK_GE(h + 2 * pad_ + 1, k_);
+  DPBR_CHECK_GE(w + 2 * pad_ + 1, k_);
+  // Cache the input in workspace storage (no per-call allocation).
+  float* cached = ws_.Get(kInputSlot, x.size());
+  std::memcpy(cached, x.data(), x.size() * sizeof(float));
+  cached_batch_ = 0;
+  cached_h_ = h;
+  cached_w_ = w;
+  size_t oh = h + 2 * pad_ - k_ + 1;
+  size_t ow = w + 2 * pad_ - k_ + 1;
+  Tensor y({out_ch_, oh, ow});
+  ForwardOne(cached, h, w, y.data());
+  return y;
+}
+
+Tensor Conv2d::Backward(const Tensor& grad_out) {
+  DPBR_CHECK_EQ(cached_batch_, 0u);
+  size_t h = cached_h_, w = cached_w_;
+  size_t oh = h + 2 * pad_ - k_ + 1;
+  size_t ow = w + 2 * pad_ - k_ + 1;
+  DPBR_CHECK_EQ(grad_out.ndim(), 3u);
+  DPBR_CHECK_EQ(grad_out.dim(0), out_ch_);
+  DPBR_CHECK_EQ(grad_out.dim(1), oh);
+  DPBR_CHECK_EQ(grad_out.dim(2), ow);
+  const float* x = ws_.Get(kInputSlot, in_ch_ * h * w);
+  Tensor dx({in_ch_, h, w});
+  BackwardOne(x, grad_out.data(), h, w, weight_grad_.data(),
+              bias_grad_.data(), dx.data());
+  return dx;
+}
+
+Tensor Conv2d::ForwardBatch(const Tensor& x) {
+  DPBR_CHECK_EQ(x.ndim(), 4u);
+  size_t batch = x.dim(0);
+  DPBR_CHECK_GT(batch, 0u);
+  DPBR_CHECK_EQ(x.dim(1), in_ch_);
+  size_t h = x.dim(2), w = x.dim(3);
+  DPBR_CHECK_GE(h + 2 * pad_ + 1, k_);
+  DPBR_CHECK_GE(w + 2 * pad_ + 1, k_);
+  float* cached = ws_.Get(kInputSlot, x.size());
+  std::memcpy(cached, x.data(), x.size() * sizeof(float));
+  cached_batch_ = batch;
+  cached_h_ = h;
+  cached_w_ = w;
+  size_t oh = h + 2 * pad_ - k_ + 1;
+  size_t ow = w + 2 * pad_ - k_ + 1;
+  Tensor y({batch, out_ch_, oh, ow});
+  size_t in_stride = in_ch_ * h * w;
+  size_t out_stride = out_ch_ * oh * ow;
+  for (size_t ex = 0; ex < batch; ++ex) {
+    ForwardOne(cached + ex * in_stride, h, w, y.data() + ex * out_stride);
+  }
+  return y;
+}
+
+Tensor Conv2d::BackwardBatch(const Tensor& grad_out,
+                             const PerExampleGradSink& sink) {
+  size_t batch = cached_batch_;
+  DPBR_CHECK_GT(batch, 0u);
+  size_t h = cached_h_, w = cached_w_;
+  size_t oh = h + 2 * pad_ - k_ + 1;
+  size_t ow = w + 2 * pad_ - k_ + 1;
+  DPBR_CHECK_EQ(grad_out.ndim(), 4u);
+  DPBR_CHECK_EQ(grad_out.dim(0), batch);
+  DPBR_CHECK_EQ(grad_out.dim(1), out_ch_);
+  DPBR_CHECK_EQ(grad_out.dim(2), oh);
+  DPBR_CHECK_EQ(grad_out.dim(3), ow);
+  const float* x = ws_.Get(kInputSlot, batch * in_ch_ * h * w);
+  Tensor dx({batch, in_ch_, h, w});
+  size_t in_stride = in_ch_ * h * w;
+  size_t out_stride = out_ch_ * oh * ow;
+  for (size_t ex = 0; ex < batch; ++ex) {
+    float* wgrad = sink.Slot(ex);
+    float* bgrad = wgrad + weight_.size();
+    BackwardOne(x + ex * in_stride, grad_out.data() + ex * out_stride, h, w,
+                wgrad, bgrad, dx.data() + ex * in_stride);
   }
   return dx;
 }

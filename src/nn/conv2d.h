@@ -1,8 +1,10 @@
-// 2-d convolution on single-example (C, H, W) tensors.
+// 2-d convolution on (C, H, W) examples and (N, C, H, W) microbatches.
 //
-// Direct (non-im2col) implementation: the paper's networks use at most
-// three 16-channel convolutions on small images, where the loop nest is
-// fast and the code stays auditable.
+// The production kernel lowers the convolution to im2col + blocked GEMM
+// (src/nn/gemm.h) with all scratch held in a per-layer Workspace, so hot
+// training loops neither allocate nor re-derive loop bounds. The original
+// direct loop nest is kept as a reference kernel (`Conv2dKernel::kNaive`)
+// that tests/nn/kernel_equivalence_test.cc checks the GEMM path against.
 
 #ifndef DPBR_NN_CONV2D_H_
 #define DPBR_NN_CONV2D_H_
@@ -10,19 +12,29 @@
 #include <string>
 #include <vector>
 
+#include "nn/gemm.h"
 #include "nn/layer.h"
 
 namespace dpbr {
 namespace nn {
 
+/// Kernel implementation selector (tests compare the two paths).
+enum class Conv2dKernel {
+  kGemm,   ///< im2col + blocked GEMM (production)
+  kNaive,  ///< direct quintuple loop (reference)
+};
+
 /// Conv2d with stride 1 and symmetric zero padding.
 class Conv2d : public Layer {
  public:
   Conv2d(size_t in_channels, size_t out_channels, size_t kernel_size,
-         size_t padding = 0);
+         size_t padding = 0, Conv2dKernel kernel = Conv2dKernel::kGemm);
 
   Tensor Forward(const Tensor& x) override;
   Tensor Backward(const Tensor& grad_out) override;
+  Tensor ForwardBatch(const Tensor& x) override;
+  Tensor BackwardBatch(const Tensor& grad_out,
+                       const PerExampleGradSink& sink) override;
   std::vector<ParamView> Params() override;
   void InitParams(SplitRng* rng) override;
   std::string name() const override { return "Conv2d"; }
@@ -37,15 +49,32 @@ class Conv2d : public Layer {
     return weight_grad_[((oc * in_ch_ + ic) * k_ + kh) * k_ + kw];
   }
 
+  /// Forward/backward for one example whose input plane is `x` and whose
+  /// outputs/gradients live at the given raw pointers. Shared by the
+  /// per-example and microbatch paths (kernel mode respected).
+  void ForwardOne(const float* x, size_t h, size_t w, float* y);
+  void BackwardOne(const float* x, const float* gy, size_t h, size_t w,
+                   float* wgrad, float* bgrad, float* dx);
+
+  void NaiveForwardOne(const float* x, size_t h, size_t w, float* y);
+  void NaiveBackwardOne(const float* x, const float* gy, size_t h, size_t w,
+                        float* wgrad, float* bgrad, float* dx);
+
   size_t in_ch_;
   size_t out_ch_;
   size_t k_;
   size_t pad_;
+  Conv2dKernel kernel_;
   std::vector<float> weight_;  // (out, in, k, k)
   std::vector<float> bias_;    // (out)
   std::vector<float> weight_grad_;
   std::vector<float> bias_grad_;
-  Tensor cached_input_;  // (C, H, W)
+  // im2col / dcol scratch plus the cached forward input(s).
+  Workspace ws_;
+  // Shape of the cached input: batch (0 → single example) and spatial.
+  size_t cached_batch_ = 0;
+  size_t cached_h_ = 0;
+  size_t cached_w_ = 0;
 };
 
 }  // namespace nn

@@ -1,0 +1,209 @@
+#include "nn/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace dpbr {
+namespace nn {
+namespace {
+
+// Rows of C handled by one parallel task. Derived from nothing but this
+// constant and m, so the work split — and therefore every accumulation
+// sequence — is independent of the pool size.
+constexpr size_t kRowBlock = 8;
+
+// k-panel height for the rank-1-update kernels: a panel of B rows is
+// streamed once per block of C rows, keeping it hot in L1/L2. Tiling
+// only reorders *loads*; each C element still accumulates its products
+// in ascending-p order, so the tile size never changes results.
+constexpr size_t kPanelK = 64;
+
+// j-tile width for the dot-product (NT) kernel: a tile of B rows stays
+// cached while every A row is dotted against it.
+constexpr size_t kTileN = 32;
+
+// Serial NN kernel on a block of C rows [i0, i1).
+void GemmNNRows(size_t i0, size_t i1, size_t k, size_t n, const float* a,
+                const float* b, float* c, const float* row_init) {
+  for (size_t i = i0; i < i1; ++i) {
+    float* crow = c + i * n;
+    if (row_init != nullptr) {
+      for (size_t j = 0; j < n; ++j) crow[j] = row_init[i];
+    } else {
+      std::memset(crow, 0, n * sizeof(float));
+    }
+  }
+  for (size_t p0 = 0; p0 < k; p0 += kPanelK) {
+    size_t p1 = std::min(k, p0 + kPanelK);
+    for (size_t i = i0; i < i1; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      for (size_t p = p0; p < p1; ++p) {
+        float aip = arow[p];
+        const float* brow = b + p * n;
+        for (size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+      }
+    }
+  }
+}
+
+// Serial TN kernel on a block of C rows [i0, i1): C = Aᵀ·B, A is (k×m).
+void GemmTNRows(size_t i0, size_t i1, size_t m, size_t k, size_t n,
+                const float* a, const float* b, float* c) {
+  for (size_t i = i0; i < i1; ++i) {
+    std::memset(c + i * n, 0, n * sizeof(float));
+  }
+  for (size_t p0 = 0; p0 < k; p0 += kPanelK) {
+    size_t p1 = std::min(k, p0 + kPanelK);
+    for (size_t i = i0; i < i1; ++i) {
+      float* crow = c + i * n;
+      for (size_t p = p0; p < p1; ++p) {
+        float aip = a[p * m + i];
+        const float* brow = b + p * n;
+        for (size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+      }
+    }
+  }
+}
+
+// Dot product of two unit-stride spans in eight fixed interleaved
+// chains: lane l sums p ≡ l (mod 8), lanes combined in order. The lane
+// assignment depends only on k, so the value is reproducible.
+float DotChained(const float* x, const float* y, size_t k) {
+  float acc[8] = {0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f};
+  size_t p = 0;
+  for (; p + 8 <= k; p += 8) {
+    for (size_t l = 0; l < 8; ++l) acc[l] += x[p + l] * y[p + l];
+  }
+  for (size_t l = 0; p + l < k; ++l) acc[l] += x[p + l] * y[p + l];
+  float s01 = acc[0] + acc[1];
+  float s23 = acc[2] + acc[3];
+  float s45 = acc[4] + acc[5];
+  float s67 = acc[6] + acc[7];
+  return (s01 + s23) + (s45 + s67);
+}
+
+// Serial NT kernel on a block of C rows [i0, i1): C = A·Bᵀ, B is (n×k).
+void GemmNTRows(size_t i0, size_t i1, size_t k, size_t n, const float* a,
+                const float* b, float* c, bool accumulate) {
+  for (size_t j0 = 0; j0 < n; j0 += kTileN) {
+    size_t j1 = std::min(n, j0 + kTileN);
+    for (size_t i = i0; i < i1; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      for (size_t j = j0; j < j1; ++j) {
+        float d = DotChained(arow, b + j * k, k);
+        crow[j] = accumulate ? crow[j] + d : d;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+float* Workspace::Get(size_t slot, size_t n) {
+  while (buffers_.size() <= slot) buffers_.emplace_back();
+  std::vector<float>& buf = buffers_[slot];
+  if (buf.size() < n) buf.resize(n);
+  return buf.data();
+}
+
+void GemmNN(size_t m, size_t k, size_t n, const float* a, const float* b,
+            float* c, const float* row_init) {
+  if (m == 0 || n == 0) return;
+  ParallelForBlocked(m, kRowBlock, [&](size_t lo, size_t hi) {
+    GemmNNRows(lo, hi, k, n, a, b, c, row_init);
+  });
+}
+
+void GemmTN(size_t m, size_t k, size_t n, const float* a, const float* b,
+            float* c) {
+  if (m == 0 || n == 0) return;
+  ParallelForBlocked(m, kRowBlock, [&](size_t lo, size_t hi) {
+    GemmTNRows(lo, hi, m, k, n, a, b, c);
+  });
+}
+
+void GemmNT(size_t m, size_t k, size_t n, const float* a, const float* b,
+            float* c, bool accumulate) {
+  if (m == 0 || n == 0) return;
+  ParallelForBlocked(m, kRowBlock, [&](size_t lo, size_t hi) {
+    GemmNTRows(lo, hi, k, n, a, b, c, accumulate);
+  });
+}
+
+void Im2Col(const float* x, size_t channels, size_t h, size_t w,
+            size_t kernel, size_t pad, float* col) {
+  DPBR_CHECK_GE(h + 2 * pad + 1, kernel);
+  DPBR_CHECK_GE(w + 2 * pad + 1, kernel);
+  size_t oh = h + 2 * pad - kernel + 1;
+  size_t ow = w + 2 * pad - kernel + 1;
+  size_t q = oh * ow;  // columns per row
+  for (size_t ic = 0; ic < channels; ++ic) {
+    const float* plane = x + ic * h * w;
+    for (size_t kh = 0; kh < kernel; ++kh) {
+      for (size_t kw = 0; kw < kernel; ++kw) {
+        float* row = col + ((ic * kernel + kh) * kernel + kw) * q;
+        for (size_t i = 0; i < oh; ++i) {
+          float* dst = row + i * ow;
+          // Input row feeding output row i through tap (kh, kw).
+          long long ih = static_cast<long long>(i + kh) -
+                         static_cast<long long>(pad);
+          if (ih < 0 || ih >= static_cast<long long>(h)) {
+            std::memset(dst, 0, ow * sizeof(float));
+            continue;
+          }
+          // Valid output columns j satisfy 0 <= j + kw - pad < w.
+          size_t j_lo = pad > kw ? pad - kw : 0;
+          size_t j_hi = w + pad > kw ? std::min(ow, w + pad - kw) : 0;
+          if (j_lo >= j_hi) {
+            std::memset(dst, 0, ow * sizeof(float));
+            continue;
+          }
+          std::memset(dst, 0, j_lo * sizeof(float));
+          std::memcpy(dst + j_lo,
+                      plane + static_cast<size_t>(ih) * w + (j_lo + kw - pad),
+                      (j_hi - j_lo) * sizeof(float));
+          std::memset(dst + j_hi, 0, (ow - j_hi) * sizeof(float));
+        }
+      }
+    }
+  }
+}
+
+void Col2ImAccumulate(const float* col, size_t channels, size_t h, size_t w,
+                      size_t kernel, size_t pad, float* dx) {
+  size_t oh = h + 2 * pad - kernel + 1;
+  size_t ow = w + 2 * pad - kernel + 1;
+  size_t q = oh * ow;
+  // Channels touch disjoint slices of both `col` and `dx`, so the split
+  // is race-free and each channel's accumulation order is fixed.
+  ParallelForBlocked(channels, 1, [&](size_t c0, size_t c1) {
+    for (size_t ic = c0; ic < c1; ++ic) {
+      float* plane = dx + ic * h * w;
+      for (size_t kh = 0; kh < kernel; ++kh) {
+        for (size_t kw = 0; kw < kernel; ++kw) {
+          const float* row = col + ((ic * kernel + kh) * kernel + kw) * q;
+          for (size_t i = 0; i < oh; ++i) {
+            long long ih = static_cast<long long>(i + kh) -
+                           static_cast<long long>(pad);
+            if (ih < 0 || ih >= static_cast<long long>(h)) continue;
+            size_t j_lo = pad > kw ? pad - kw : 0;
+            size_t j_hi = w + pad > kw ? std::min(ow, w + pad - kw) : 0;
+            if (j_lo >= j_hi) continue;
+            const float* src = row + i * ow + j_lo;
+            float* dst = plane + static_cast<size_t>(ih) * w +
+                         (j_lo + kw - pad);
+            for (size_t j = 0; j < j_hi - j_lo; ++j) dst[j] += src[j];
+          }
+        }
+      }
+    }
+  });
+}
+
+}  // namespace nn
+}  // namespace dpbr

@@ -1,0 +1,78 @@
+// Cache-blocked, threaded GEMM primitives and the per-layer workspace
+// arena the nn compute layer runs on.
+//
+// Every kernel is deterministic under any thread-pool size: work is split
+// across rows of the output matrix with block boundaries derived from the
+// problem shape only, and each output element accumulates its products in
+// a fixed order chosen by the kernel, never by the schedule. Calling the
+// same kernel under pool sizes 1, 2 and N therefore yields bit-identical
+// results (the contract tests/nn/kernel_equivalence_test.cc enforces).
+//
+// Layers call these kernels through a Workspace they own, so hot-loop
+// invocations reuse grow-only scratch buffers instead of allocating.
+
+#ifndef DPBR_NN_GEMM_H_
+#define DPBR_NN_GEMM_H_
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace dpbr {
+namespace nn {
+
+/// Grow-only scratch-buffer arena. Each slot is a persistent float buffer
+/// that is resized (never shrunk) on request; repeated calls with the
+/// same shapes perform no allocation after the first. A Workspace belongs
+/// to exactly one layer instance and is not thread-safe — layers already
+/// serve one example (or one microbatch) at a time.
+class Workspace {
+ public:
+  /// Returns slot `slot` grown to hold at least `n` floats. The pointer
+  /// is stable until the next Get() on the same slot with a larger `n`.
+  float* Get(size_t slot, size_t n);
+
+ private:
+  std::deque<std::vector<float>> buffers_;
+};
+
+/// C (m×n) = A (m×k) · B (k×n), all row-major. When `row_init` is
+/// non-null, row i of C starts from the scalar row_init[i] (broadcast
+/// across the row) instead of zero — Conv2d uses this to fold the bias
+/// into the kernel the way the naive loop does. Accumulation per element
+/// runs over p = 0..k-1 in ascending order (float accumulators, so the
+/// result is reproducible but differs from a double-accumulated naive
+/// loop in the last bits; the equivalence test bounds the gap at 1e-4).
+void GemmNN(size_t m, size_t k, size_t n, const float* a, const float* b,
+            float* c, const float* row_init = nullptr);
+
+/// C (m×n) = Aᵀ · B for row-major A (k×m), B (k×n). Same fixed
+/// ascending-p accumulation order as GemmNN.
+void GemmTN(size_t m, size_t k, size_t n, const float* a, const float* b,
+            float* c);
+
+/// C (m×n) = (or +=) A (m×k) · Bᵀ for row-major B (n×k). Each element is
+/// a dot product of two unit-stride rows, accumulated in eight fixed
+/// interleaved partial sums (lane l takes p ≡ l mod 8) combined in lane
+/// order — deterministic and SIMD-friendly without -ffast-math.
+void GemmNT(size_t m, size_t k, size_t n, const float* a, const float* b,
+            float* c, bool accumulate = false);
+
+/// Expands a (C, H, W) image into the (C·kh·kw) × (OH·OW) column matrix
+/// of a stride-1, symmetrically zero-padded convolution. Row r encodes
+/// (ic, kh, kw) in row-major order; column q encodes (oh, ow). Out-of-
+/// bounds taps are written as 0.
+void Im2Col(const float* x, size_t channels, size_t h, size_t w,
+            size_t kernel, size_t pad, float* col);
+
+/// Scatter-adds a column-matrix gradient back onto the (C, H, W) image
+/// gradient: the exact adjoint of Im2Col. `dx` must be pre-zeroed (or
+/// hold a partial gradient to accumulate onto). Parallel across channels;
+/// the per-channel accumulation order is fixed by (kernel, shape) only.
+void Col2ImAccumulate(const float* col, size_t channels, size_t h, size_t w,
+                      size_t kernel, size_t pad, float* dx);
+
+}  // namespace nn
+}  // namespace dpbr
+
+#endif  // DPBR_NN_GEMM_H_

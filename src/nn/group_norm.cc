@@ -6,6 +6,11 @@
 
 namespace dpbr {
 namespace nn {
+namespace {
+
+constexpr size_t kXhatSlot = 0;  // cached normalized input(s)
+
+}  // namespace
 
 GroupNorm::GroupNorm(size_t num_groups, size_t num_channels, double eps,
                      bool affine)
@@ -21,23 +26,12 @@ GroupNorm::GroupNorm(size_t num_groups, size_t num_channels, double eps,
   DPBR_CHECK_EQ(channels_ % groups_, 0u);
 }
 
-Tensor GroupNorm::Forward(const Tensor& x) {
-  DPBR_CHECK_EQ(x.ndim(), 3u);
-  DPBR_CHECK_EQ(x.dim(0), channels_);
-  size_t h = x.dim(1), w = x.dim(2);
-  size_t spatial = h * w;
+void GroupNorm::ForwardOne(const float* x, size_t spatial, float* xhat,
+                           float* y, double* inv_std_out) {
   size_t cpg = channels_ / groups_;  // channels per group
   size_t group_size = cpg * spatial;
-
-  cached_xhat_ = Tensor({channels_, h, w});
-  cached_inv_std_.assign(groups_, 0.0);
-
-  Tensor y({channels_, h, w});
-  const float* xd = x.data();
-  float* xh = cached_xhat_.data();
-  float* yd = y.data();
   for (size_t g = 0; g < groups_; ++g) {
-    const float* gx = xd + g * group_size;
+    const float* gx = x + g * group_size;
     double mean = 0.0;
     for (size_t i = 0; i < group_size; ++i) mean += gx[i];
     mean /= static_cast<double>(group_size);
@@ -48,46 +42,39 @@ Tensor GroupNorm::Forward(const Tensor& x) {
     }
     var /= static_cast<double>(group_size);
     double inv_std = 1.0 / std::sqrt(var + eps_);
-    cached_inv_std_[g] = inv_std;
+    inv_std_out[g] = inv_std;
     for (size_t c = 0; c < cpg; ++c) {
       size_t ch = g * cpg + c;
       float gam = gamma_[ch], bet = beta_[ch];
       for (size_t s = 0; s < spatial; ++s) {
         size_t idx = g * group_size + c * spatial + s;
-        float xhat = static_cast<float>((xd[idx] - mean) * inv_std);
-        xh[idx] = xhat;
-        yd[idx] = gam * xhat + bet;
+        float xh = static_cast<float>((x[idx] - mean) * inv_std);
+        xhat[idx] = xh;
+        y[idx] = gam * xh + bet;
       }
     }
   }
-  return y;
 }
 
-Tensor GroupNorm::Backward(const Tensor& grad_out) {
-  DPBR_CHECK(grad_out.SameShape(cached_xhat_));
-  size_t h = cached_xhat_.dim(1), w = cached_xhat_.dim(2);
-  size_t spatial = h * w;
+void GroupNorm::BackwardOne(const float* dy, const float* xhat,
+                            const double* inv_std, size_t spatial, float* dx,
+                            float* ggrad, float* bgrad) {
   size_t cpg = channels_ / groups_;
   size_t group_size = cpg * spatial;
   double inv_m = 1.0 / static_cast<double>(group_size);
 
-  Tensor dx({channels_, h, w});
-  const float* dy = grad_out.data();
-  const float* xh = cached_xhat_.data();
-  float* dxd = dx.data();
-
   // Per-channel affine gradients (skipped when the layer has no affine
   // parameters).
-  if (affine_) {
+  if (ggrad != nullptr) {
     for (size_t ch = 0; ch < channels_; ++ch) {
       double dg = 0.0, db = 0.0;
       for (size_t s = 0; s < spatial; ++s) {
         size_t idx = ch * spatial + s;
-        dg += static_cast<double>(dy[idx]) * xh[idx];
+        dg += static_cast<double>(dy[idx]) * xhat[idx];
         db += dy[idx];
       }
-      gamma_grad_[ch] += static_cast<float>(dg);
-      beta_grad_[ch] += static_cast<float>(db);
+      ggrad[ch] += static_cast<float>(dg);
+      bgrad[ch] += static_cast<float>(db);
     }
   }
 
@@ -102,21 +89,96 @@ Tensor GroupNorm::Backward(const Tensor& grad_out) {
         size_t idx = ch * spatial + s;
         double dxhat = static_cast<double>(dy[idx]) * gamma_[ch];
         sum_dxhat += dxhat;
-        sum_dxhat_xhat += dxhat * xh[idx];
+        sum_dxhat_xhat += dxhat * xhat[idx];
       }
     }
     double mean_dxhat = sum_dxhat * inv_m;
     double mean_dxhat_xhat = sum_dxhat_xhat * inv_m;
-    double inv_std = cached_inv_std_[g];
+    double is = inv_std[g];
     for (size_t c = 0; c < cpg; ++c) {
       size_t ch = g * cpg + c;
       for (size_t s = 0; s < spatial; ++s) {
         size_t idx = ch * spatial + s;
         double dxhat = static_cast<double>(dy[idx]) * gamma_[ch];
-        dxd[idx] = static_cast<float>(
-            inv_std * (dxhat - mean_dxhat - xh[idx] * mean_dxhat_xhat));
+        dx[idx] = static_cast<float>(
+            is * (dxhat - mean_dxhat - xhat[idx] * mean_dxhat_xhat));
       }
     }
+  }
+}
+
+Tensor GroupNorm::Forward(const Tensor& x) {
+  DPBR_CHECK_EQ(x.ndim(), 3u);
+  DPBR_CHECK_EQ(x.dim(0), channels_);
+  size_t h = x.dim(1), w = x.dim(2);
+  float* xhat = ws_.Get(kXhatSlot, x.size());
+  cached_inv_std_.assign(groups_, 0.0);
+  cached_batch_ = 0;
+  cached_h_ = h;
+  cached_w_ = w;
+  Tensor y({channels_, h, w});
+  ForwardOne(x.data(), h * w, xhat, y.data(), cached_inv_std_.data());
+  return y;
+}
+
+Tensor GroupNorm::Backward(const Tensor& grad_out) {
+  DPBR_CHECK_EQ(cached_batch_, 0u);
+  size_t h = cached_h_, w = cached_w_;
+  DPBR_CHECK_EQ(grad_out.ndim(), 3u);
+  DPBR_CHECK_EQ(grad_out.dim(0), channels_);
+  DPBR_CHECK_EQ(grad_out.dim(1), h);
+  DPBR_CHECK_EQ(grad_out.dim(2), w);
+  const float* xhat = ws_.Get(kXhatSlot, channels_ * h * w);
+  Tensor dx({channels_, h, w});
+  BackwardOne(grad_out.data(), xhat, cached_inv_std_.data(), h * w, dx.data(),
+              affine_ ? gamma_grad_.data() : nullptr,
+              affine_ ? beta_grad_.data() : nullptr);
+  return dx;
+}
+
+Tensor GroupNorm::ForwardBatch(const Tensor& x) {
+  DPBR_CHECK_EQ(x.ndim(), 4u);
+  size_t batch = x.dim(0);
+  DPBR_CHECK_GT(batch, 0u);
+  DPBR_CHECK_EQ(x.dim(1), channels_);
+  size_t h = x.dim(2), w = x.dim(3);
+  float* xhat = ws_.Get(kXhatSlot, x.size());
+  cached_inv_std_.assign(batch * groups_, 0.0);
+  cached_batch_ = batch;
+  cached_h_ = h;
+  cached_w_ = w;
+  Tensor y({batch, channels_, h, w});
+  size_t stride = channels_ * h * w;
+  for (size_t ex = 0; ex < batch; ++ex) {
+    ForwardOne(x.data() + ex * stride, h * w, xhat + ex * stride,
+               y.data() + ex * stride, cached_inv_std_.data() + ex * groups_);
+  }
+  return y;
+}
+
+Tensor GroupNorm::BackwardBatch(const Tensor& grad_out,
+                                const PerExampleGradSink& sink) {
+  size_t batch = cached_batch_;
+  DPBR_CHECK_GT(batch, 0u);
+  size_t h = cached_h_, w = cached_w_;
+  DPBR_CHECK_EQ(grad_out.ndim(), 4u);
+  DPBR_CHECK_EQ(grad_out.dim(0), batch);
+  DPBR_CHECK_EQ(grad_out.dim(1), channels_);
+  DPBR_CHECK_EQ(grad_out.dim(2), h);
+  DPBR_CHECK_EQ(grad_out.dim(3), w);
+  size_t stride = channels_ * h * w;
+  const float* xhat = ws_.Get(kXhatSlot, batch * stride);
+  Tensor dx({batch, channels_, h, w});
+  for (size_t ex = 0; ex < batch; ++ex) {
+    float* ggrad = nullptr;
+    float* bgrad = nullptr;
+    if (affine_) {
+      ggrad = sink.Slot(ex);
+      bgrad = ggrad + gamma_.size();
+    }
+    BackwardOne(grad_out.data() + ex * stride, xhat + ex * stride,
+                cached_inv_std_.data() + ex * groups_, h * w,
+                dx.data() + ex * stride, ggrad, bgrad);
   }
   return dx;
 }

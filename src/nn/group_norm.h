@@ -1,5 +1,7 @@
-// GroupNorm over a single (C, H, W) example, as used by the paper's MNIST
-// and Colorectal CNNs (NumGroups=4, NumChannels=16).
+// GroupNorm over (C, H, W) examples and (N, C, H, W) microbatches, as
+// used by the paper's MNIST and Colorectal CNNs (NumGroups=4,
+// NumChannels=16). Statistics are always per example, so the batched
+// path loops the per-example kernel over workspace-cached activations.
 
 #ifndef DPBR_NN_GROUP_NORM_H_
 #define DPBR_NN_GROUP_NORM_H_
@@ -7,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "nn/gemm.h"
 #include "nn/layer.h"
 
 namespace dpbr {
@@ -25,11 +28,22 @@ class GroupNorm : public Layer {
 
   Tensor Forward(const Tensor& x) override;
   Tensor Backward(const Tensor& grad_out) override;
+  Tensor ForwardBatch(const Tensor& x) override;
+  Tensor BackwardBatch(const Tensor& grad_out,
+                       const PerExampleGradSink& sink) override;
   std::vector<ParamView> Params() override;
   void InitParams(SplitRng* rng) override;  // γ=1, β=0
   std::string name() const override { return "GroupNorm"; }
 
  private:
+  /// Normalizes one example: writes x̂ and y, records 1/std per group.
+  void ForwardOne(const float* x, size_t spatial, float* xhat, float* y,
+                  double* inv_std);
+  /// Input gradient for one example; when `ggrad`/`bgrad` are non-null,
+  /// accumulates this example's affine gradients into them.
+  void BackwardOne(const float* dy, const float* xhat, const double* inv_std,
+                   size_t spatial, float* dx, float* ggrad, float* bgrad);
+
   size_t groups_;
   size_t channels_;
   double eps_;
@@ -38,8 +52,13 @@ class GroupNorm : public Layer {
   std::vector<float> beta_;
   std::vector<float> gamma_grad_;
   std::vector<float> beta_grad_;
-  Tensor cached_xhat_;            // normalized input
-  std::vector<double> cached_inv_std_;  // per group
+  // Workspace-cached normalized input x̂ (batch-sized).
+  Workspace ws_;
+  // 1/std per (example, group); batch 0 → single-example cache.
+  std::vector<double> cached_inv_std_;
+  size_t cached_batch_ = 0;
+  size_t cached_h_ = 0;
+  size_t cached_w_ = 0;
 };
 
 }  // namespace nn

@@ -1,7 +1,20 @@
 #include "nn/layer.h"
 
+#include "common/logging.h"
+
 namespace dpbr {
 namespace nn {
+
+Tensor Layer::ForwardBatch(const Tensor& /*x*/) {
+  DPBR_LOG_STREAM(Fatal) << name() << " does not implement ForwardBatch";
+  return Tensor();
+}
+
+Tensor Layer::BackwardBatch(const Tensor& /*grad_out*/,
+                            const PerExampleGradSink& /*sink*/) {
+  DPBR_LOG_STREAM(Fatal) << name() << " does not implement BackwardBatch";
+  return Tensor();
+}
 
 void Layer::ZeroGrad() {
   for (ParamView& p : Params()) {

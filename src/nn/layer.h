@@ -1,10 +1,16 @@
-// Layer abstraction for per-example forward/backward.
+// Layer abstraction for per-example and batched forward/backward.
 //
-// dpbr networks process one example at a time because the DP protocol
-// (Algorithm 1) consumes *per-example* gradients. Layers cache whatever
-// they need during Forward and accumulate parameter gradients during
-// Backward; a layer instance therefore serves exactly one example at a
-// time (each federated worker owns a private model copy).
+// The DP protocol (Algorithm 1) consumes *per-example* gradients, so the
+// layer contract exposes two paths to them:
+//   * the per-example path (Forward/Backward), one example at a time, and
+//   * the microbatch path (ForwardBatch/BackwardBatch), which runs one
+//     kernel invocation per layer over a whole clipped microbatch and
+//     writes each example's parameter gradient to its own row of a
+//     (batch × model_dim) sink — the per-example separation the DP
+//     clipping needs, without the per-sample Python-loop shape.
+// Layers cache whatever they need during the forward pass; a layer
+// instance serves exactly one example or one microbatch at a time (each
+// federated worker owns a private model copy).
 
 #ifndef DPBR_NN_LAYER_H_
 #define DPBR_NN_LAYER_H_
@@ -26,6 +32,24 @@ struct ParamView {
   size_t size = 0;
 };
 
+/// Destination for per-example parameter gradients during BackwardBatch.
+/// Example j's gradient for this layer's parameter p lands at
+/// base[j * stride + offset + p]; rows must be zeroed by the caller
+/// before the backward pass (layers accumulate into them).
+struct PerExampleGradSink {
+  float* base = nullptr;
+  size_t stride = 0;  ///< model dimension d
+  size_t offset = 0;  ///< first flat-parameter coordinate of this layer
+
+  float* Slot(size_t example) const { return base + example * stride + offset; }
+
+  /// The same sink shifted to a sublayer whose parameters start
+  /// `delta` coordinates further into the flat vector.
+  PerExampleGradSink Shifted(size_t delta) const {
+    return {base, stride, offset + delta};
+  }
+};
+
 /// Base class for all layers.
 class Layer {
  public:
@@ -38,6 +62,18 @@ class Layer {
   /// Given dL/d(output), accumulates dL/d(params) into the grad buffers
   /// and returns dL/d(input). Must be preceded by a matching Forward.
   virtual Tensor Backward(const Tensor& grad_out) = 0;
+
+  /// Computes the layer output for a microbatch whose leading dimension
+  /// is the batch size. Caches batch activations for BackwardBatch. The
+  /// default CHECK-fails; every layer the model zoo uses overrides it.
+  virtual Tensor ForwardBatch(const Tensor& x);
+
+  /// Batched counterpart of Backward: returns dL/d(input) with leading
+  /// batch dimension and writes *per-example* parameter gradients into
+  /// `sink` (accumulating; rows pre-zeroed by the caller). Must be
+  /// preceded by a matching ForwardBatch.
+  virtual Tensor BackwardBatch(const Tensor& grad_out,
+                               const PerExampleGradSink& sink);
 
   /// Views over this layer's parameters (empty for stateless layers).
   virtual std::vector<ParamView> Params() { return {}; }

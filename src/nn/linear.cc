@@ -1,12 +1,18 @@
 #include "nn/linear.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "common/logging.h"
 #include "tensor/ops.h"
 
 namespace dpbr {
 namespace nn {
+namespace {
+
+constexpr size_t kInputSlot = 0;  // cached forward input(s)
+
+}  // namespace
 
 Linear::Linear(size_t in_features, size_t out_features)
     : in_(in_features),
@@ -21,22 +27,64 @@ Linear::Linear(size_t in_features, size_t out_features)
 
 Tensor Linear::Forward(const Tensor& x) {
   DPBR_CHECK_EQ(x.size(), in_);
-  cached_input_.assign(x.data(), x.data() + in_);
+  float* cached = ws_.Get(kInputSlot, in_);
+  std::memcpy(cached, x.data(), in_ * sizeof(float));
+  cached_batch_ = 0;
   Tensor y({out_});
-  ops::MatVec(weight_.data(), x.data(), y.data(), out_, in_);
+  // y = x · Wᵀ as a 1-row GEMM, then the bias.
+  GemmNT(1, in_, out_, cached, weight_.data(), y.data());
   for (size_t r = 0; r < out_; ++r) y[r] += bias_[r];
   return y;
 }
 
 Tensor Linear::Backward(const Tensor& grad_out) {
   DPBR_CHECK_EQ(grad_out.size(), out_);
-  DPBR_CHECK_EQ(cached_input_.size(), in_);
-  // dW += dy ⊗ x, db += dy, dx = Wᵀ dy.
-  ops::Ger(1.0f, grad_out.data(), cached_input_.data(), weight_grad_.data(),
-           out_, in_);
+  DPBR_CHECK_EQ(cached_batch_, 0u);
+  const float* x = ws_.Get(kInputSlot, in_);
+  // dW += dy ⊗ x, db += dy, dx = dy · W.
+  ops::Ger(1.0f, grad_out.data(), x, weight_grad_.data(), out_, in_);
   ops::Axpy(1.0f, grad_out.data(), bias_grad_.data(), out_);
   Tensor dx({in_});
-  ops::MatVecTransposed(weight_.data(), grad_out.data(), dx.data(), out_, in_);
+  GemmNN(1, out_, in_, grad_out.data(), weight_.data(), dx.data());
+  return dx;
+}
+
+Tensor Linear::ForwardBatch(const Tensor& x) {
+  DPBR_CHECK_EQ(x.ndim(), 2u);
+  size_t batch = x.dim(0);
+  DPBR_CHECK_GT(batch, 0u);
+  DPBR_CHECK_EQ(x.dim(1), in_);
+  float* cached = ws_.Get(kInputSlot, batch * in_);
+  std::memcpy(cached, x.data(), batch * in_ * sizeof(float));
+  cached_batch_ = batch;
+  Tensor y({batch, out_});
+  // Y = X · Wᵀ, one GEMM for the whole microbatch.
+  GemmNT(batch, in_, out_, cached, weight_.data(), y.data());
+  for (size_t ex = 0; ex < batch; ++ex) {
+    float* row = y.data() + ex * out_;
+    for (size_t r = 0; r < out_; ++r) row[r] += bias_[r];
+  }
+  return y;
+}
+
+Tensor Linear::BackwardBatch(const Tensor& grad_out,
+                             const PerExampleGradSink& sink) {
+  size_t batch = cached_batch_;
+  DPBR_CHECK_GT(batch, 0u);
+  DPBR_CHECK_EQ(grad_out.ndim(), 2u);
+  DPBR_CHECK_EQ(grad_out.dim(0), batch);
+  DPBR_CHECK_EQ(grad_out.dim(1), out_);
+  const float* x = ws_.Get(kInputSlot, batch * in_);
+  // Per-example parameter gradients: dW_j = dy_j ⊗ x_j, db_j = dy_j.
+  for (size_t ex = 0; ex < batch; ++ex) {
+    const float* gy = grad_out.data() + ex * out_;
+    float* wgrad = sink.Slot(ex);
+    ops::Ger(1.0f, gy, x + ex * in_, wgrad, out_, in_);
+    ops::Axpy(1.0f, gy, wgrad + weight_.size(), out_);
+  }
+  // dX = dY · W, one GEMM for the whole microbatch.
+  Tensor dx({batch, in_});
+  GemmNN(batch, out_, in_, grad_out.data(), weight_.data(), dx.data());
   return dx;
 }
 

@@ -1,4 +1,5 @@
-// Fully connected layer: y = W x + b.
+// Fully connected layer: y = W x + b, batched on the shared GEMM
+// primitive (src/nn/gemm.h) with workspace-cached activations.
 
 #ifndef DPBR_NN_LINEAR_H_
 #define DPBR_NN_LINEAR_H_
@@ -6,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "nn/gemm.h"
 #include "nn/layer.h"
 
 namespace dpbr {
@@ -18,6 +20,9 @@ class Linear : public Layer {
 
   Tensor Forward(const Tensor& x) override;
   Tensor Backward(const Tensor& grad_out) override;
+  Tensor ForwardBatch(const Tensor& x) override;
+  Tensor BackwardBatch(const Tensor& grad_out,
+                       const PerExampleGradSink& sink) override;
   std::vector<ParamView> Params() override;
 
   /// He-uniform weights (suits the ELU/ReLU nets used here), zero bias.
@@ -35,7 +40,10 @@ class Linear : public Layer {
   std::vector<float> bias_;         // out
   std::vector<float> weight_grad_;  // accumulates across examples
   std::vector<float> bias_grad_;
-  std::vector<float> cached_input_;  // flattened x from last Forward
+  // Workspace-cached input(s) from the last forward pass.
+  Workspace ws_;
+  // Leading dimension of the cached input; 0 → single-example cache.
+  size_t cached_batch_ = 0;
 };
 
 }  // namespace nn

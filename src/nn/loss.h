@@ -17,6 +17,9 @@ std::vector<double> Softmax(const Tensor& logits);
 /// Index of the maximum logit.
 size_t Argmax(const Tensor& logits);
 
+/// Index of the maximum over a raw span (first maximum wins).
+size_t Argmax(const float* v, size_t n);
+
 /// Loss value and gradient of softmax cross-entropy w.r.t. the logits:
 /// grad = softmax(logits) - onehot(label).
 struct LossGrad {
@@ -24,6 +27,15 @@ struct LossGrad {
   Tensor grad_logits;
 };
 LossGrad SoftmaxCrossEntropy(const Tensor& logits, size_t label);
+
+/// Batched variant over (N, C) logits: per-example losses plus the
+/// (N, C) logit-gradient tensor, row j belonging to example j.
+struct BatchLossGrad {
+  std::vector<double> losses;
+  Tensor grad_logits;
+};
+BatchLossGrad SoftmaxCrossEntropyBatch(const Tensor& logits,
+                                       const std::vector<size_t>& labels);
 
 }  // namespace nn
 }  // namespace dpbr

@@ -1,5 +1,7 @@
 #include "nn/pooling.h"
 
+#include <numeric>
+
 #include "common/logging.h"
 
 namespace dpbr {
@@ -14,12 +16,57 @@ inline size_t RegionEnd(size_t i, size_t in, size_t out) {
   return ((i + 1) * in + out - 1) / out;  // ceil
 }
 
+size_t ShapeProduct(const std::vector<size_t>& shape, size_t from) {
+  size_t p = 1;
+  for (size_t i = from; i < shape.size(); ++i) p *= shape[i];
+  return p;
+}
+
 }  // namespace
 
 AdaptiveAvgPool2d::AdaptiveAvgPool2d(size_t out_h, size_t out_w)
     : out_h_(out_h), out_w_(out_w) {
   DPBR_CHECK_GT(out_h_, 0u);
   DPBR_CHECK_GT(out_w_, 0u);
+}
+
+void AdaptiveAvgPool2d::ForwardOne(const float* x, size_t c, size_t h,
+                                   size_t w, float* y) {
+  for (size_t ch = 0; ch < c; ++ch) {
+    const float* plane = x + ch * h * w;
+    float* out_plane = y + ch * out_h_ * out_w_;
+    for (size_t i = 0; i < out_h_; ++i) {
+      size_t h0 = RegionStart(i, h, out_h_), h1 = RegionEnd(i, h, out_h_);
+      for (size_t j = 0; j < out_w_; ++j) {
+        size_t w0 = RegionStart(j, w, out_w_), w1 = RegionEnd(j, w, out_w_);
+        double s = 0.0;
+        for (size_t a = h0; a < h1; ++a) {
+          for (size_t b = w0; b < w1; ++b) s += plane[a * w + b];
+        }
+        out_plane[i * out_w_ + j] =
+            static_cast<float>(s / static_cast<double>((h1 - h0) * (w1 - w0)));
+      }
+    }
+  }
+}
+
+void AdaptiveAvgPool2d::BackwardOne(const float* gy, size_t c, size_t h,
+                                    size_t w, float* dx) {
+  for (size_t ch = 0; ch < c; ++ch) {
+    const float* gy_plane = gy + ch * out_h_ * out_w_;
+    float* dx_plane = dx + ch * h * w;
+    for (size_t i = 0; i < out_h_; ++i) {
+      size_t h0 = RegionStart(i, h, out_h_), h1 = RegionEnd(i, h, out_h_);
+      for (size_t j = 0; j < out_w_; ++j) {
+        size_t w0 = RegionStart(j, w, out_w_), w1 = RegionEnd(j, w, out_w_);
+        float g = gy_plane[i * out_w_ + j] /
+                  static_cast<float>((h1 - h0) * (w1 - w0));
+        for (size_t a = h0; a < h1; ++a) {
+          for (size_t b = w0; b < w1; ++b) dx_plane[a * w + b] += g;
+        }
+      }
+    }
+  }
 }
 
 Tensor AdaptiveAvgPool2d::Forward(const Tensor& x) {
@@ -29,20 +76,7 @@ Tensor AdaptiveAvgPool2d::Forward(const Tensor& x) {
   DPBR_CHECK_GE(w, out_w_);
   cached_in_shape_ = x.shape();
   Tensor y({c, out_h_, out_w_});
-  for (size_t ch = 0; ch < c; ++ch) {
-    for (size_t i = 0; i < out_h_; ++i) {
-      size_t h0 = RegionStart(i, h, out_h_), h1 = RegionEnd(i, h, out_h_);
-      for (size_t j = 0; j < out_w_; ++j) {
-        size_t w0 = RegionStart(j, w, out_w_), w1 = RegionEnd(j, w, out_w_);
-        double s = 0.0;
-        for (size_t a = h0; a < h1; ++a) {
-          for (size_t b = w0; b < w1; ++b) s += x.at(ch, a, b);
-        }
-        y.at(ch, i, j) =
-            static_cast<float>(s / static_cast<double>((h1 - h0) * (w1 - w0)));
-      }
-    }
-  }
+  ForwardOne(x.data(), c, h, w, y.data());
   return y;
 }
 
@@ -54,18 +88,42 @@ Tensor AdaptiveAvgPool2d::Backward(const Tensor& grad_out) {
   DPBR_CHECK_EQ(grad_out.dim(1), out_h_);
   DPBR_CHECK_EQ(grad_out.dim(2), out_w_);
   Tensor dx({c, h, w});
-  for (size_t ch = 0; ch < c; ++ch) {
-    for (size_t i = 0; i < out_h_; ++i) {
-      size_t h0 = RegionStart(i, h, out_h_), h1 = RegionEnd(i, h, out_h_);
-      for (size_t j = 0; j < out_w_; ++j) {
-        size_t w0 = RegionStart(j, w, out_w_), w1 = RegionEnd(j, w, out_w_);
-        float g = grad_out.at(ch, i, j) /
-                  static_cast<float>((h1 - h0) * (w1 - w0));
-        for (size_t a = h0; a < h1; ++a) {
-          for (size_t b = w0; b < w1; ++b) dx.at(ch, a, b) += g;
-        }
-      }
-    }
+  BackwardOne(grad_out.data(), c, h, w, dx.data());
+  return dx;
+}
+
+Tensor AdaptiveAvgPool2d::ForwardBatch(const Tensor& x) {
+  DPBR_CHECK_EQ(x.ndim(), 4u);
+  size_t batch = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  DPBR_CHECK_GT(batch, 0u);
+  DPBR_CHECK_GE(h, out_h_);
+  DPBR_CHECK_GE(w, out_w_);
+  cached_in_shape_ = x.shape();
+  Tensor y({batch, c, out_h_, out_w_});
+  size_t in_stride = c * h * w;
+  size_t out_stride = c * out_h_ * out_w_;
+  for (size_t ex = 0; ex < batch; ++ex) {
+    ForwardOne(x.data() + ex * in_stride, c, h, w,
+               y.data() + ex * out_stride);
+  }
+  return y;
+}
+
+Tensor AdaptiveAvgPool2d::BackwardBatch(const Tensor& grad_out,
+                                        const PerExampleGradSink& /*sink*/) {
+  DPBR_CHECK_EQ(cached_in_shape_.size(), 4u);
+  size_t batch = cached_in_shape_[0], c = cached_in_shape_[1],
+         h = cached_in_shape_[2], w = cached_in_shape_[3];
+  DPBR_CHECK_EQ(grad_out.dim(0), batch);
+  DPBR_CHECK_EQ(grad_out.dim(1), c);
+  DPBR_CHECK_EQ(grad_out.dim(2), out_h_);
+  DPBR_CHECK_EQ(grad_out.dim(3), out_w_);
+  Tensor dx({batch, c, h, w});
+  size_t in_stride = c * h * w;
+  size_t out_stride = c * out_h_ * out_w_;
+  for (size_t ex = 0; ex < batch; ++ex) {
+    BackwardOne(grad_out.data() + ex * out_stride, c, h, w,
+                dx.data() + ex * in_stride);
   }
   return dx;
 }
@@ -78,6 +136,21 @@ Tensor Flatten::Forward(const Tensor& x) {
 }
 
 Tensor Flatten::Backward(const Tensor& grad_out) {
+  auto r = grad_out.Reshape(cached_in_shape_);
+  DPBR_CHECK(r.ok());
+  return std::move(r).value();
+}
+
+Tensor Flatten::ForwardBatch(const Tensor& x) {
+  DPBR_CHECK_GE(x.ndim(), 2u);
+  cached_in_shape_ = x.shape();
+  auto r = x.Reshape({x.dim(0), ShapeProduct(x.shape(), 1)});
+  DPBR_CHECK(r.ok());
+  return std::move(r).value();
+}
+
+Tensor Flatten::BackwardBatch(const Tensor& grad_out,
+                              const PerExampleGradSink& /*sink*/) {
   auto r = grad_out.Reshape(cached_in_shape_);
   DPBR_CHECK(r.ok());
   return std::move(r).value();

@@ -1,4 +1,6 @@
-// Adaptive average pooling and flattening.
+// Adaptive average pooling and flattening, with batched variants. Both
+// layers cache only the input *shape* (never activations), so their
+// per-call footprint is a handful of size_t writes.
 
 #ifndef DPBR_NN_POOLING_H_
 #define DPBR_NN_POOLING_H_
@@ -20,19 +22,30 @@ class AdaptiveAvgPool2d : public Layer {
 
   Tensor Forward(const Tensor& x) override;
   Tensor Backward(const Tensor& grad_out) override;
+  Tensor ForwardBatch(const Tensor& x) override;
+  Tensor BackwardBatch(const Tensor& grad_out,
+                       const PerExampleGradSink& sink) override;
   std::string name() const override { return "AdaptiveAvgPool2d"; }
 
  private:
+  /// Pools one (C, H, W) example; `dx` variant scatters the gradient.
+  void ForwardOne(const float* x, size_t c, size_t h, size_t w, float* y);
+  void BackwardOne(const float* gy, size_t c, size_t h, size_t w, float* dx);
+
   size_t out_h_;
   size_t out_w_;
   std::vector<size_t> cached_in_shape_;
 };
 
-/// Flattens any tensor to 1-d; Backward restores the original shape.
+/// Flattens each example to 1-d; Backward restores the original shape.
+/// The batched variant maps (N, d1, ..., dk) to (N, d1·...·dk).
 class Flatten : public Layer {
  public:
   Tensor Forward(const Tensor& x) override;
   Tensor Backward(const Tensor& grad_out) override;
+  Tensor ForwardBatch(const Tensor& x) override;
+  Tensor BackwardBatch(const Tensor& grad_out,
+                       const PerExampleGradSink& sink) override;
   std::string name() const override { return "Flatten"; }
 
  private:

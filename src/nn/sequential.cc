@@ -1,5 +1,7 @@
 #include "nn/sequential.h"
 
+#include <cstring>
+
 #include "common/logging.h"
 
 namespace dpbr {
@@ -23,6 +25,36 @@ Tensor Sequential::Backward(const Tensor& grad_out) {
     g = (*it)->Backward(g);
   }
   return g;
+}
+
+Tensor Sequential::ForwardBatch(const Tensor& x) {
+  Tensor h = x;
+  for (auto& l : layers_) h = l->ForwardBatch(h);
+  return h;
+}
+
+Tensor Sequential::BackwardBatch(const Tensor& grad_out,
+                                 const PerExampleGradSink& sink) {
+  // Flat-parameter offset of each sublayer, in Params() order.
+  std::vector<size_t> offsets(layers_.size());
+  size_t off = 0;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    offsets[i] = off;
+    off += layers_[i]->NumParams();
+  }
+  Tensor g = grad_out;
+  for (size_t i = layers_.size(); i-- > 0;) {
+    g = layers_[i]->BackwardBatch(g, sink.Shifted(offsets[i]));
+  }
+  return g;
+}
+
+Tensor Sequential::BackwardBatchTo(const Tensor& grad_out, size_t batch,
+                                   float* grads) {
+  size_t dim = NumParams();
+  std::memset(grads, 0, batch * dim * sizeof(float));
+  PerExampleGradSink sink{grads, dim, 0};
+  return BackwardBatch(grad_out, sink);
 }
 
 std::vector<ParamView> Sequential::Params() {
@@ -93,6 +125,21 @@ Tensor Residual::Forward(const Tensor& x) {
 
 Tensor Residual::Backward(const Tensor& grad_out) {
   Tensor dx = body_->Backward(grad_out);
+  DPBR_CHECK(dx.SameShape(grad_out));
+  for (size_t i = 0; i < dx.size(); ++i) dx[i] += grad_out[i];
+  return dx;
+}
+
+Tensor Residual::ForwardBatch(const Tensor& x) {
+  Tensor y = body_->ForwardBatch(x);
+  DPBR_CHECK(y.SameShape(x));
+  for (size_t i = 0; i < y.size(); ++i) y[i] += x[i];
+  return y;
+}
+
+Tensor Residual::BackwardBatch(const Tensor& grad_out,
+                               const PerExampleGradSink& sink) {
+  Tensor dx = body_->BackwardBatch(grad_out, sink);
   DPBR_CHECK(dx.SameShape(grad_out));
   for (size_t i = 0; i < dx.size(); ++i) dx[i] += grad_out[i];
   return dx;

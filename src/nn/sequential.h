@@ -25,9 +25,18 @@ class Sequential : public Layer {
 
   Tensor Forward(const Tensor& x) override;
   Tensor Backward(const Tensor& grad_out) override;
+  Tensor ForwardBatch(const Tensor& x) override;
+  Tensor BackwardBatch(const Tensor& grad_out,
+                       const PerExampleGradSink& sink) override;
   std::vector<ParamView> Params() override;
   void InitParams(SplitRng* rng) override;
   std::string name() const override { return "Sequential"; }
+
+  /// Batched backward writing example j's full flat parameter gradient
+  /// (dimension NumParams()) to grads + j·NumParams(). Zeroes the rows
+  /// first; returns dL/d(input) with leading batch dimension. This is
+  /// the per-example gradient entry point the DP worker clips against.
+  Tensor BackwardBatchTo(const Tensor& grad_out, size_t batch, float* grads);
 
   size_t num_layers() const { return layers_.size(); }
   Layer* layer(size_t i) { return layers_[i].get(); }
@@ -59,6 +68,9 @@ class Residual : public Layer {
 
   Tensor Forward(const Tensor& x) override;
   Tensor Backward(const Tensor& grad_out) override;
+  Tensor ForwardBatch(const Tensor& x) override;
+  Tensor BackwardBatch(const Tensor& grad_out,
+                       const PerExampleGradSink& sink) override;
   std::vector<ParamView> Params() override;
   void InitParams(SplitRng* rng) override;
   std::string name() const override { return "Residual"; }

@@ -74,7 +74,8 @@ TEST(ParallelForTest, GlobalPoolWorks) {
 TEST(ParallelForTest, SingleThreadPoolRunsInline) {
   ThreadPool pool(1);
   std::vector<int> order;
-  ParallelFor(pool, 0, 5, [&](size_t i) { order.push_back(static_cast<int>(i)); });
+  ParallelFor(pool, 0, 5,
+              [&](size_t i) { order.push_back(static_cast<int>(i)); });
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 

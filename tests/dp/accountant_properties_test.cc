@@ -5,7 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <tuple>
+#include <vector>
 
 #include "dp/privacy_params.h"
 #include "dp/rdp_accountant.h"
@@ -13,6 +16,24 @@
 namespace dpbr {
 namespace dp {
 namespace {
+
+// Under the `quick` CTest tier (DPBR_TEST_TIER=quick) the grid shrinks
+// to its corner cells; the `full` tier (and a plain run) sweeps the
+// paper's whole cross product.
+bool QuickTier() {
+  const char* tier = std::getenv("DPBR_TEST_TIER");
+  return tier != nullptr && std::strcmp(tier, "quick") == 0;
+}
+
+std::vector<int> DatasetSizes() {
+  if (QuickTier()) return {1000};
+  return {800, 1000, 3000};
+}
+
+std::vector<double> Epsilons() {
+  if (QuickTier()) return {0.125, 2.0};
+  return {0.125, 0.25, 0.5, 1.0, 2.0};
+}
 
 // (per-worker dataset size, epsilon): the cross product the paper's
 // Figures 1-2 sweep, at both the paper's scale (|D| = 3000) and this
@@ -43,8 +64,8 @@ TEST_P(PrivacyGridTest, CalibratesAndRoundTrips) {
 
 INSTANTIATE_TEST_SUITE_P(
     PaperGrid, PrivacyGridTest,
-    ::testing::Combine(::testing::Values(800, 1000, 3000),
-                       ::testing::Values(0.125, 0.25, 0.5, 1.0, 2.0)));
+    ::testing::Combine(::testing::ValuesIn(DatasetSizes()),
+                       ::testing::ValuesIn(Epsilons())));
 
 TEST(PaperAnchorTest, ReproducesThePapersBaseNoiseMultiplier) {
   // §6.2 CLAIM 6: "we first choose the base case of σ_b = 0.79

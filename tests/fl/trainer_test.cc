@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <cstring>
+
 #include "aggregators/mean.h"
 #include "attacks/gaussian_attack.h"
 #include "data/synthetic.h"
@@ -10,6 +13,15 @@
 namespace dpbr {
 namespace fl {
 namespace {
+
+// The `quick` CTest tier (DPBR_TEST_TIER=quick) halves the training
+// epochs; accuracy assertions below use tier-aware margins.
+bool QuickTier() {
+  const char* tier = std::getenv("DPBR_TEST_TIER");
+  return tier != nullptr && std::strcmp(tier, "quick") == 0;
+}
+
+int TierEpochs() { return QuickTier() ? 2 : 4; }
 
 data::DatasetBundle TrainerBundle() {
   data::SyntheticSpec spec;
@@ -28,7 +40,7 @@ data::DatasetBundle TrainerBundle() {
 TrainerOptions FastOptions() {
   TrainerOptions o;
   o.num_honest = 8;
-  o.epochs = 4;
+  o.epochs = TierEpochs();
   o.batch_size = 8;
   o.epsilon = 2.0;
   o.base_lr = 0.5;
@@ -58,8 +70,8 @@ TEST(TrainerTest, PrivacyCalibrationExposed) {
   ASSERT_TRUE(t.Run().ok());
   EXPECT_TRUE(t.privacy().dp_enabled);
   EXPECT_DOUBLE_EQ(t.privacy().epsilon, 2.0);
-  // |D| = 1600/8 = 200, T = ceil(4·200/8) = 100.
-  EXPECT_EQ(t.total_rounds(), 100);
+  // |D| = 1600/8 = 200, T = ceil(epochs·200/8) = 25·epochs.
+  EXPECT_EQ(t.total_rounds(), 25 * TierEpochs());
   EXPECT_GT(t.privacy().sigma, 0.0);
 }
 

@@ -1,0 +1,257 @@
+// Contract tests for the GEMM-backed compute layer:
+//  * the im2col+GEMM Conv2d agrees with the naive reference kernel to
+//    1e-4 relative tolerance (forward, input grads, parameter grads),
+//  * GEMM results are bit-identical under thread pools of size 1, 2 and
+//    hardware concurrency (the determinism contract from PR 1), and
+//  * the batched microbatch path reproduces the per-example path
+//    bit-for-bit, including the per-example parameter gradients the DP
+//    protocol clips.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "nn/conv2d.h"
+#include "nn/gemm.h"
+#include "nn/loss.h"
+#include "nn/model_zoo.h"
+#include "nn/sequential.h"
+
+namespace dpbr {
+namespace nn {
+namespace {
+
+Tensor RandomTensor(std::vector<size_t> shape, uint64_t seed) {
+  SplitRng rng(seed);
+  Tensor x(std::move(shape));
+  x.FillGaussian(&rng, 1.0);
+  return x;
+}
+
+void ExpectNear(const Tensor& a, const Tensor& b, double rel_tol) {
+  ASSERT_EQ(a.shape(), b.shape());
+  for (size_t i = 0; i < a.size(); ++i) {
+    double av = a[i], bv = b[i];
+    double scale = std::max(1.0, std::max(std::abs(av), std::abs(bv)));
+    EXPECT_NEAR(av, bv, rel_tol * scale) << "index " << i;
+  }
+}
+
+void ExpectNear(const std::vector<float>& a, const std::vector<float>& b,
+                double rel_tol) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    double av = a[i], bv = b[i];
+    double scale = std::max(1.0, std::max(std::abs(av), std::abs(bv)));
+    EXPECT_NEAR(av, bv, rel_tol * scale) << "index " << i;
+  }
+}
+
+// Builds a pair of identically-initialized Conv2d layers, one per kernel.
+struct ConvPair {
+  std::unique_ptr<Conv2d> gemm;
+  std::unique_ptr<Conv2d> naive;
+};
+
+ConvPair MakePair(size_t in_ch, size_t out_ch, size_t k, size_t pad,
+                  uint64_t seed) {
+  ConvPair p;
+  p.gemm = std::make_unique<Conv2d>(in_ch, out_ch, k, pad,
+                                    Conv2dKernel::kGemm);
+  p.naive = std::make_unique<Conv2d>(in_ch, out_ch, k, pad,
+                                     Conv2dKernel::kNaive);
+  SplitRng rng_a(seed), rng_b(seed);
+  p.gemm->InitParams(&rng_a);
+  p.naive->InitParams(&rng_b);
+  return p;
+}
+
+struct ConvCase {
+  size_t in_ch, out_ch, k, pad, h, w;
+};
+
+// CIFAR-like (the acceptance shape), deeper same-padded, and edge cases
+// where the padded kernel overhangs most of the input.
+const ConvCase kCases[] = {
+    {3, 32, 3, 1, 32, 32},
+    {16, 16, 3, 1, 8, 8},
+    {1, 4, 5, 2, 7, 9},
+    {2, 3, 3, 0, 6, 6},
+    {4, 8, 1, 0, 5, 5},
+    {1, 2, 7, 3, 3, 3},  // kernel overhangs the whole padded input
+};
+
+TEST(KernelEquivalenceTest, ConvForwardMatchesNaive) {
+  for (const ConvCase& c : kCases) {
+    ConvPair p = MakePair(c.in_ch, c.out_ch, c.k, c.pad, 11);
+    Tensor x = RandomTensor({c.in_ch, c.h, c.w}, 21);
+    ExpectNear(p.gemm->Forward(x), p.naive->Forward(x), 1e-4);
+  }
+}
+
+TEST(KernelEquivalenceTest, ConvBackwardMatchesNaive) {
+  for (const ConvCase& c : kCases) {
+    ConvPair p = MakePair(c.in_ch, c.out_ch, c.k, c.pad, 13);
+    Tensor x = RandomTensor({c.in_ch, c.h, c.w}, 23);
+    Tensor yg = p.gemm->Forward(x);
+    Tensor yn = p.naive->Forward(x);
+    Tensor gy = RandomTensor(yg.shape(), 31);
+    p.gemm->ZeroGrad();
+    p.naive->ZeroGrad();
+    Tensor dxg = p.gemm->Backward(gy);
+    Tensor dxn = p.naive->Backward(gy);
+    ExpectNear(dxg, dxn, 1e-4);
+    std::vector<ParamView> pg = p.gemm->Params();
+    std::vector<ParamView> pn = p.naive->Params();
+    ASSERT_EQ(pg.size(), pn.size());
+    for (size_t i = 0; i < pg.size(); ++i) {
+      ASSERT_EQ(pg[i].size, pn[i].size);
+      ExpectNear(std::vector<float>(pg[i].grad, pg[i].grad + pg[i].size),
+                 std::vector<float>(pn[i].grad, pn[i].grad + pn[i].size),
+                 1e-4);
+    }
+  }
+}
+
+// Runs forward+backward through a GEMM conv under an explicit pool size
+// and returns (y, dx, flat parameter grads).
+struct ConvRun {
+  Tensor y;
+  Tensor dx;
+  std::vector<float> grads;
+};
+
+ConvRun RunUnderPool(size_t pool_size, const ConvCase& c) {
+  ThreadPool pool(pool_size);
+  ScopedPoolOverride override_pool(&pool);
+  ConvPair p = MakePair(c.in_ch, c.out_ch, c.k, c.pad, 17);
+  Tensor x = RandomTensor({c.in_ch, c.h, c.w}, 19);
+  ConvRun r;
+  r.y = p.gemm->Forward(x);
+  Tensor gy = RandomTensor(r.y.shape(), 29);
+  p.gemm->ZeroGrad();
+  r.dx = p.gemm->Backward(gy);
+  for (const ParamView& v : p.gemm->Params()) {
+    r.grads.insert(r.grads.end(), v.grad, v.grad + v.size);
+  }
+  return r;
+}
+
+TEST(KernelEquivalenceTest, GemmBitIdenticalAcrossPoolSizes) {
+  size_t hw = std::max<size_t>(2, std::thread::hardware_concurrency());
+  for (const ConvCase& c : kCases) {
+    ConvRun r1 = RunUnderPool(1, c);
+    for (size_t threads : {size_t{2}, hw}) {
+      ConvRun rn = RunUnderPool(threads, c);
+      ASSERT_EQ(r1.y.shape(), rn.y.shape());
+      for (size_t i = 0; i < r1.y.size(); ++i) {
+        ASSERT_EQ(r1.y[i], rn.y[i]) << "pool " << threads << " y[" << i << "]";
+      }
+      for (size_t i = 0; i < r1.dx.size(); ++i) {
+        ASSERT_EQ(r1.dx[i], rn.dx[i])
+            << "pool " << threads << " dx[" << i << "]";
+      }
+      ASSERT_EQ(r1.grads, rn.grads) << "pool " << threads;
+    }
+  }
+}
+
+// One loss backward pass through a model, per-example path: returns the
+// logits and each example's flat gradient.
+struct PerExampleRun {
+  std::vector<Tensor> logits;
+  std::vector<std::vector<float>> grads;
+};
+
+PerExampleRun RunPerExample(Sequential* model, const Tensor& batch,
+                            const std::vector<size_t>& labels,
+                            const std::vector<size_t>& example_shape) {
+  size_t n = batch.dim(0);
+  size_t feat = batch.size() / n;
+  PerExampleRun r;
+  for (size_t ex = 0; ex < n; ++ex) {
+    Tensor x(example_shape,
+             std::vector<float>(batch.data() + ex * feat,
+                                batch.data() + (ex + 1) * feat));
+    model->ZeroGrad();
+    Tensor logits = model->Forward(x);
+    LossGrad lg = SoftmaxCrossEntropy(logits, labels[ex]);
+    model->Backward(lg.grad_logits);
+    r.logits.push_back(std::move(logits));
+    r.grads.push_back(model->FlatGrads());
+  }
+  return r;
+}
+
+void CheckBatchedMatchesPerExample(std::unique_ptr<Sequential> model,
+                                   std::vector<size_t> example_shape,
+                                   size_t num_classes, uint64_t seed) {
+  SplitRng rng(seed);
+  model->InitParams(&rng);
+  constexpr size_t kBatch = 5;
+  std::vector<size_t> batch_shape;
+  batch_shape.push_back(kBatch);
+  for (size_t d : example_shape) batch_shape.push_back(d);
+  Tensor batch = RandomTensor(batch_shape, seed + 1);
+  std::vector<size_t> labels(kBatch);
+  for (size_t ex = 0; ex < kBatch; ++ex) labels[ex] = ex % num_classes;
+
+  Tensor logits = model->ForwardBatch(batch);
+  ASSERT_EQ(logits.dim(0), kBatch);
+  BatchLossGrad lg = SoftmaxCrossEntropyBatch(logits, labels);
+  size_t dim = model->NumParams();
+  std::vector<float> grads(kBatch * dim);
+  model->BackwardBatchTo(lg.grad_logits, kBatch, grads.data());
+
+  PerExampleRun ref =
+      RunPerExample(model.get(), batch, labels, example_shape);
+  size_t classes = logits.dim(1);
+  for (size_t ex = 0; ex < kBatch; ++ex) {
+    for (size_t c = 0; c < classes; ++c) {
+      ASSERT_EQ(logits[ex * classes + c], ref.logits[ex][c])
+          << "example " << ex << " class " << c;
+    }
+    for (size_t i = 0; i < dim; ++i) {
+      ASSERT_EQ(grads[ex * dim + i], ref.grads[ex][i])
+          << "example " << ex << " param " << i;
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, BatchedCnnMatchesPerExampleBitwise) {
+  CheckBatchedMatchesPerExample(MakeCnn(1, 8, 3, 4), {1, 8, 8}, 4, 41);
+}
+
+TEST(KernelEquivalenceTest, BatchedResidualCnnMatchesPerExampleBitwise) {
+  CheckBatchedMatchesPerExample(MakeResidualCnn(1, 8, 3, 4), {1, 8, 8}, 4,
+                                43);
+}
+
+TEST(KernelEquivalenceTest, BatchedMlpMatchesPerExampleBitwise) {
+  CheckBatchedMatchesPerExample(MakeMlp(20, 8, 5), {20}, 5, 47);
+}
+
+TEST(KernelEquivalenceTest, WorkspaceReusesAndGrowsBuffers) {
+  Workspace ws;
+  float* a = ws.Get(0, 64);
+  ASSERT_NE(a, nullptr);
+  // Same-or-smaller requests return the same storage.
+  EXPECT_EQ(ws.Get(0, 64), a);
+  EXPECT_EQ(ws.Get(0, 16), a);
+  // Distinct slots never alias.
+  float* b = ws.Get(1, 64);
+  EXPECT_NE(b, a);
+  a[0] = 7.0f;
+  b[0] = 9.0f;
+  EXPECT_EQ(ws.Get(0, 64)[0], 7.0f);
+  EXPECT_EQ(ws.Get(1, 64)[0], 9.0f);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace dpbr
