@@ -36,6 +36,46 @@ std::vector<std::vector<float>> NoiseUploads(size_t n, size_t dim,
   return uploads;
 }
 
+// --- Bulk Gaussian sampling: the ziggurat production kernel against the
+// Box-Muller reference at DP-noise sizes (an e2e reference run draws
+// ~3M noise coordinates). items_per_second is draws per second; the CI
+// bench gate asserts the ziggurat stays >= 3x the reference per draw.
+
+void FillGaussianBench(benchmark::State& state, GaussianSampler sampler) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<float> buf(n);
+  SplitRng rng(3, {0xBE});
+  for (auto _ : state) {
+    rng.FillGaussian(buf.data(), n, 0.3, sampler);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_FillGaussianZiggurat(benchmark::State& state) {
+  FillGaussianBench(state, GaussianSampler::kZiggurat);
+}
+BENCHMARK(BM_FillGaussianZiggurat)->Arg(65536)->Arg(1048576);
+
+void BM_FillGaussianBoxMuller(benchmark::State& state) {
+  FillGaussianBench(state, GaussianSampler::kBoxMuller);
+}
+BENCHMARK(BM_FillGaussianBoxMuller)->Arg(65536)->Arg(1048576);
+
+// The DP upload perturbation exactly as the worker runs it (AddGaussian
+// at a model-sized d).
+void BM_AddGaussianUpload(benchmark::State& state) {
+  size_t d = static_cast<size_t>(state.range(0));
+  std::vector<float> upload(d, 0.01f);
+  SplitRng rng(5, {0xAD});
+  for (auto _ : state) {
+    rng.AddGaussian(upload.data(), d, 0.3);
+    benchmark::DoNotOptimize(upload.data());
+  }
+  state.SetItemsProcessed(state.iterations() * d);
+}
+BENCHMARK(BM_AddGaussianUpload)->Arg(35562)->Arg(100000);
+
 void BM_KsTestGaussian(benchmark::State& state) {
   size_t d = static_cast<size_t>(state.range(0));
   SplitRng rng(2);
@@ -194,10 +234,37 @@ void BM_NoiseMultiplierSearch(benchmark::State& state) {
 }
 BENCHMARK(BM_NoiseMultiplierSearch);
 
+// FillGaussian must be bit-identical under serial and parallel pools
+// (same contract the aggregators obey); run before the timing loops so a
+// determinism regression fails the bench smoke job loudly.
+void CheckFillGaussianPoolIdentity() {
+  const size_t n = 3 * kGaussianFillBlock + 1234;
+  std::vector<std::vector<float>> fills;
+  for (size_t threads : {size_t{1}, size_t{2}, ParallelPoolSize()}) {
+    ThreadPool pool(threads);
+    ScopedPoolOverride override(&pool);
+    SplitRng rng(23, {5});
+    fills.emplace_back(n);
+    rng.FillGaussian(fills.back().data(), n, 0.7);
+  }
+  for (size_t i = 1; i < fills.size(); ++i) {
+    if (fills[0] != fills[i]) {
+      std::fprintf(stderr,
+                   "FATAL: FillGaussian differs across pool sizes\n");
+      std::exit(1);
+    }
+  }
+  std::fprintf(stderr,
+               "fill-gaussian determinism check: pools {1,2,%zu} "
+               "bit-identical (n=%zu)\n",
+               ParallelPoolSize(), n);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CheckKrumSerialParallelIdentity();
+  CheckFillGaussianPoolIdentity();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -94,6 +94,50 @@ void BM_Conv2dBackwardNaive(benchmark::State& state) {
 }
 BENCHMARK(BM_Conv2dBackwardNaive)->Unit(benchmark::kMicrosecond);
 
+// --- Batched conv forward: the fused single-GEMM path against the same
+// work run example-by-example (what ForwardBatch did before the fusion).
+
+constexpr size_t kBatch = 16;
+
+Tensor RandomBatch(uint64_t seed) {
+  SplitRng rng(seed);
+  Tensor x({kBatch, kInCh, kImg, kImg});
+  x.FillGaussian(&rng, 1.0);
+  return x;
+}
+
+void BM_Conv2dForwardBatch(benchmark::State& state) {
+  nn::Conv2d conv = MakeConv(nn::Conv2dKernel::kGemm);
+  Tensor x = RandomBatch(13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.ForwardBatch(x));
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch * kOutCh * kImg *
+                          kImg);
+}
+BENCHMARK(BM_Conv2dForwardBatch)->Unit(benchmark::kMicrosecond);
+
+void BM_Conv2dForwardBatchPerExample(benchmark::State& state) {
+  nn::Conv2d conv = MakeConv(nn::Conv2dKernel::kGemm);
+  Tensor x = RandomBatch(13);
+  size_t feat = kInCh * kImg * kImg;
+  std::vector<Tensor> examples;
+  for (size_t ex = 0; ex < kBatch; ++ex) {
+    examples.emplace_back(
+        std::vector<size_t>{kInCh, kImg, kImg},
+        std::vector<float>(x.data() + ex * feat,
+                           x.data() + (ex + 1) * feat));
+  }
+  for (auto _ : state) {
+    for (const Tensor& example : examples) {
+      benchmark::DoNotOptimize(conv.Forward(example));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch * kOutCh * kImg *
+                          kImg);
+}
+BENCHMARK(BM_Conv2dForwardBatchPerExample)->Unit(benchmark::kMicrosecond);
+
 // Raw GEMM throughput at the conv-lowered shape:
 // (32 × 27) · (27 × 1024) per forward.
 void BM_GemmConvShape(benchmark::State& state) {
@@ -219,9 +263,30 @@ void CheckConvDeterminism() {
       std::exit(1);
     }
   }
+  // The fused batch forward must reproduce the per-example forward bit
+  // for bit (same per-element accumulation order).
+  nn::Conv2d conv = MakeConv(nn::Conv2dKernel::kGemm);
+  Tensor xb = RandomBatch(13);
+  Tensor yb = conv.ForwardBatch(xb);
+  size_t feat = kInCh * kImg * kImg;
+  size_t out_stride = kOutCh * kImg * kImg;
+  for (size_t ex = 0; ex < kBatch; ++ex) {
+    Tensor one({kInCh, kImg, kImg},
+               std::vector<float>(xb.data() + ex * feat,
+                                  xb.data() + (ex + 1) * feat));
+    Tensor y = conv.Forward(one);
+    for (size_t j = 0; j < y.size(); ++j) {
+      if (yb[ex * out_stride + j] != y[j]) {
+        std::fprintf(
+            stderr,
+            "FATAL: fused batch-conv forward differs from per-example\n");
+        std::exit(1);
+      }
+    }
+  }
   std::fprintf(stderr,
                "conv determinism check: pools {1,2,%zu} bit-identical, "
-               "naive agreement within 1e-4\n",
+               "naive agreement within 1e-4, fused batch == per-example\n",
                hw);
 }
 

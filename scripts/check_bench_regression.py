@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Gate benchmark results against the committed baseline.
+
+Usage:
+  scripts/check_bench_regression.py --baseline BENCH_baseline.json \
+      bench_micro.json bench_nn.json
+
+Reads one or more google-benchmark JSON outputs, merges their benchmark
+lists, and enforces two kinds of gates:
+
+  * Regression gates: every benchmark named in HOT_BENCHMARKS must not be
+    more than REGRESSION_FACTOR slower (per-iteration time) than the same
+    entry in the baseline file. Only slower fails — faster machines (CI
+    runners vs the dev container that produced the baseline) pass freely.
+  * Ratio gates: machine-independent relationships inside a single run,
+    e.g. the ziggurat sampler must stay >= 3x the Box-Muller reference per
+    draw. These hold on any hardware and are the strongest signal.
+
+`--update BENCH_baseline.json` rewrites the baseline from the given
+result files instead of gating (used to refresh committed numbers).
+
+Exit status: 0 when every gate passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Benchmarks whose per-iteration time is gated against the baseline.
+# Names must match the google-benchmark "name" field exactly.
+HOT_BENCHMARKS = [
+    "BM_FillGaussianZiggurat/1048576",
+    "BM_AddGaussianUpload/100000",
+    "BM_KsTestGaussian/100000",
+    "BM_FirstStageApply/50",
+    "BM_DpbrAggregate/50",
+    "BM_RdpEpsilon",
+    "BM_NoiseMultiplierSearch",
+    "BM_Conv2dForward",
+    "BM_Conv2dForwardBatch",
+    "BM_Conv2dBackward",
+    "BM_GemmConvShape",
+    "BM_LocalStepCnn",
+]
+
+# A hot benchmark fails when run_time > baseline_time * REGRESSION_FACTOR.
+# DPBR_BENCH_SLACK (a float multiplier) widens the bound for noisy hosts.
+REGRESSION_FACTOR = 1.25
+
+# (numerator, denominator, min_ratio, description): within one run,
+# time(numerator) / time(denominator) must be >= min_ratio.
+RATIO_GATES = [
+    (
+        "BM_FillGaussianBoxMuller/1048576",
+        "BM_FillGaussianZiggurat/1048576",
+        3.0,
+        "ziggurat >= 3x Box-Muller per bulk Gaussian draw",
+    ),
+    (
+        "BM_Conv2dForwardNaive",
+        "BM_Conv2dForward",
+        3.0,
+        "GEMM conv forward >= 3x naive reference",
+    ),
+]
+
+
+def per_iteration_time(entry):
+    """Per-iteration wall time in the entry's own unit-free seconds."""
+    unit = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}[
+        entry.get("time_unit", "ns")
+    ]
+    return entry["real_time"] * unit
+
+
+def load_benchmarks(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {b["name"]: b for b in data.get("benchmarks", [])
+            if b.get("run_type", "iteration") == "iteration"}
+
+
+def merge_results(paths):
+    merged = {}
+    for path in paths:
+        for name, entry in load_benchmarks(path).items():
+            if name in merged:
+                print(f"warning: duplicate benchmark {name} "
+                      f"(keeping first occurrence)")
+                continue
+            merged[name] = entry
+    return merged
+
+
+def update_baseline(baseline_path, result_paths, results, note):
+    out = {"note": note}
+    # Keep the machine context of the first result file so the baseline
+    # records what hardware produced it.
+    with open(result_paths[0]) as f:
+        context = json.load(f).get("context")
+    if context:
+        out["context"] = context
+    out["benchmarks"] = list(results.values())
+    with open(baseline_path, "w") as f:
+        json.dump(out, f, indent=1)
+        f.write("\n")
+    print(f"wrote {baseline_path} with {len(out['benchmarks'])} benchmarks")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline JSON (BENCH_baseline.json)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the results "
+                             "instead of gating")
+    parser.add_argument("--note", default="refreshed baseline",
+                        help="note stored when updating the baseline")
+    parser.add_argument("results", nargs="+",
+                        help="google-benchmark JSON output files")
+    args = parser.parse_args()
+
+    results = merge_results(args.results)
+    if args.update:
+        update_baseline(args.baseline, args.results, results, args.note)
+        return 0
+
+    slack = float(os.environ.get("DPBR_BENCH_SLACK", "1.0"))
+    baseline = load_benchmarks(args.baseline)
+    failures = []
+
+    print(f"{'benchmark':42s} {'baseline':>12s} {'run':>12s} {'ratio':>7s}")
+    for name in HOT_BENCHMARKS:
+        if name not in results:
+            failures.append(f"{name}: missing from results")
+            continue
+        if name not in baseline:
+            print(f"{name:42s} {'(new)':>12s} "
+                  f"{per_iteration_time(results[name]):12.3e} {'-':>7s}")
+            continue
+        base_t = per_iteration_time(baseline[name])
+        run_t = per_iteration_time(results[name])
+        ratio = run_t / base_t
+        bound = REGRESSION_FACTOR * slack
+        flag = "" if ratio <= bound else "  <-- REGRESSION"
+        print(f"{name:42s} {base_t:12.3e} {run_t:12.3e} {ratio:6.2f}x{flag}")
+        if ratio > bound:
+            failures.append(
+                f"{name}: {ratio:.2f}x slower than baseline "
+                f"(bound {bound:.2f}x)")
+
+    print()
+    for num, den, min_ratio, desc in RATIO_GATES:
+        if num not in results or den not in results:
+            failures.append(f"ratio gate '{desc}': {num} or {den} missing")
+            continue
+        ratio = (per_iteration_time(results[num]) /
+                 per_iteration_time(results[den]))
+        ok = ratio >= min_ratio
+        print(f"ratio {num} / {den} = {ratio:.2f}x "
+              f"(need >= {min_ratio}x) {'ok' if ok else '<-- FAIL'}")
+        if not ok:
+            failures.append(f"ratio gate '{desc}': {ratio:.2f}x "
+                            f"< {min_ratio}x")
+
+    if failures:
+        print("\nBENCH GATE FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nbench gate: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace dpbr {
 namespace {
@@ -20,6 +21,56 @@ inline uint64_t Mix64(uint64_t z) {
 inline uint64_t Combine(uint64_t key, uint64_t id) {
   return Mix64(key ^ (Mix64(id) + 0x9e3779b97f4a7c15ULL + (key << 6) +
                       (key >> 2)));
+}
+
+// --- 256-layer ziggurat for the standard normal (Marsaglia & Tsang 2000,
+// constants per Doornik 2005). The area under f(x) = exp(-x²/2), x >= 0,
+// is carved into 256 regions of equal area kA: 255 horizontal strips plus
+// a base strip that also covers the tail beyond kR. Layer widths x_i
+// decrease from x_1 = kR down to x_256 = 0; x_0 = kA / f(kR) is the
+// virtual width of the base strip, chosen so that the probability of
+// falling past kR inside the base strip equals the true tail mass.
+
+constexpr int kZigLayers = 256;
+constexpr double kZigR = 3.6541528853610088;    // base strip edge
+constexpr double kZigArea = 0.00492867323399;   // area of each region
+
+struct ZigguratTables {
+  // x[0] > x[1] = kZigR > ... > x[256] = 0, f[i] = exp(-x[i]²/2).
+  double x[kZigLayers + 1];
+  double f[kZigLayers + 1];
+  // Fast-path acceleration: with j the 53 uniform bits of a draw in layer
+  // i, accept immediately when j < k[i] (j·w[i] is then inside the inner
+  // rectangle); w[i] = x[i]·2⁻⁵³ maps j straight to the variate with one
+  // multiply. Boundary j values fall through to the exact wedge/tail
+  // tests, so the integer shortcut never changes the distribution.
+  uint64_t k[kZigLayers];
+  double w[kZigLayers];
+
+  ZigguratTables() {
+    x[1] = kZigR;
+    x[0] = kZigArea / std::exp(-0.5 * kZigR * kZigR);
+    for (int i = 2; i < kZigLayers; ++i) {
+      // f(x_i) = f(x_{i-1}) + kA / x_{i-1}: each strip has area kA.
+      double fi =
+          kZigArea / x[i - 1] + std::exp(-0.5 * x[i - 1] * x[i - 1]);
+      x[i] = std::sqrt(-2.0 * std::log(fi));
+    }
+    x[kZigLayers] = 0.0;
+    for (int i = 0; i <= kZigLayers; ++i) {
+      f[i] = std::exp(-0.5 * x[i] * x[i]);
+    }
+    k[0] = static_cast<uint64_t>(kZigR / x[0] * 0x1.0p53);
+    for (int i = 1; i < kZigLayers; ++i) {
+      k[i] = static_cast<uint64_t>(x[i + 1] / x[i] * 0x1.0p53);
+    }
+    for (int i = 0; i < kZigLayers; ++i) w[i] = x[i] * 0x1.0p-53;
+  }
+};
+
+const ZigguratTables& Ziggurat() {
+  static const ZigguratTables tables;
+  return tables;
 }
 
 }  // namespace
@@ -76,10 +127,76 @@ double SplitRng::Gaussian(double mean, double stddev) {
   return mean + stddev * Gaussian();
 }
 
-void SplitRng::FillGaussian(float* out, size_t n, double stddev) {
-  for (size_t i = 0; i < n; ++i) {
-    out[i] = static_cast<float>(stddev * Gaussian());
+double SplitRng::GaussianZiggurat() {
+  static constexpr double kSign[2] = {1.0, -1.0};
+  const ZigguratTables& t = Ziggurat();
+  for (;;) {
+    // One 64-bit draw covers the common case: 8 bits pick the layer, one
+    // bit the sign, and the top 53 bits the position within the layer.
+    // The sign is applied by multiply, not branch: the sign bit is a coin
+    // flip, and a 50%-mispredicted branch would dominate the fast path.
+    uint64_t bits = Next64();
+    size_t i = bits & 0xFF;
+    uint64_t j = bits >> 11;
+    double s = kSign[(bits >> 8) & 1];
+    double x = static_cast<double>(j) * t.w[i];
+    if (j < t.k[i]) return x * s;  // inner rectangle
+    if (i == 0) {
+      // Base strip overhang: sample the tail x > kR (Marsaglia's method;
+      // 1 - U keeps the logs finite).
+      double xx, yy;
+      do {
+        xx = -std::log(1.0 - Uniform()) / kZigR;
+        yy = -std::log(1.0 - Uniform());
+      } while (yy + yy < xx * xx);
+      return (kZigR + xx) * s;
+    }
+    // Wedge: y uniform over the strip's vertical span [f(x_i), f(x_{i+1})].
+    double y = t.f[i] + Uniform() * (t.f[i + 1] - t.f[i]);
+    if (y < std::exp(-0.5 * x * x)) return x * s;
   }
+}
+
+void SplitRng::BulkGaussian(float* data, size_t n, double stddev,
+                            GaussianSampler sampler, bool accumulate) {
+  if (n == 0) return;
+  if (sampler == GaussianSampler::kBoxMuller) {
+    // Legacy sequential stream (bit-identical to pre-ziggurat fills).
+    for (size_t i = 0; i < n; ++i) {
+      float g = static_cast<float>(stddev * Gaussian());
+      if (accumulate) {
+        data[i] += g;
+      } else {
+        data[i] = g;
+      }
+    }
+    return;
+  }
+  // One parent draw keys the whole fill; block b then draws from the
+  // independent child stream SplitRng(base, {b}). Block boundaries depend
+  // only on n, so the output is bit-identical under any pool size.
+  uint64_t base = Next64();
+  ParallelForBlocked(n, kGaussianFillBlock, [&](size_t lo, size_t hi) {
+    SplitRng block(base, {static_cast<uint64_t>(lo / kGaussianFillBlock)});
+    for (size_t i = lo; i < hi; ++i) {
+      float g = static_cast<float>(stddev * block.GaussianZiggurat());
+      if (accumulate) {
+        data[i] += g;
+      } else {
+        data[i] = g;
+      }
+    }
+  });
+}
+
+void SplitRng::FillGaussian(float* out, size_t n, double stddev,
+                            GaussianSampler sampler) {
+  BulkGaussian(out, n, stddev, sampler, /*accumulate=*/false);
+}
+
+void SplitRng::AddGaussian(float* data, size_t n, double stddev,
+                           GaussianSampler sampler) {
+  BulkGaussian(data, n, stddev, sampler, /*accumulate=*/true);
 }
 
 std::vector<size_t> SplitRng::Permutation(size_t n) {

@@ -5,6 +5,16 @@
 // (seed, stream components...). Streams are independent regardless of the
 // order or thread in which they are consumed, which makes whole federated
 // runs bit-reproducible under ParallelFor.
+//
+// Gaussian draws come in two kernels (mirroring Conv2dKernel):
+//  * GaussianSampler::kZiggurat — 256-layer ziggurat, the production
+//    sampler behind the bulk FillGaussian / AddGaussian APIs. Bulk fills
+//    are split into fixed-size blocks, each drawing from an independent
+//    child stream, so the output is bit-identical under any thread-pool
+//    size and equal to the documented sequential per-block draw loop.
+//  * GaussianSampler::kBoxMuller — the original Box-Muller transform,
+//    kept as a slow reference kernel; its bulk path reproduces the
+//    pre-ziggurat FillGaussian stream bit-for-bit.
 
 #ifndef DPBR_COMMON_RNG_H_
 #define DPBR_COMMON_RNG_H_
@@ -15,6 +25,19 @@
 #include <vector>
 
 namespace dpbr {
+
+/// Gaussian kernel selector. kZiggurat is the production sampler;
+/// kBoxMuller is the reference kernel (and the legacy noise stream).
+enum class GaussianSampler {
+  kZiggurat,   ///< 256-layer ziggurat (production, ~5x faster per draw)
+  kBoxMuller,  ///< Box-Muller transform (reference)
+};
+
+/// Elements per FillGaussian/AddGaussian work block. Each block b draws
+/// from the independent child stream SplitRng(base, {b}) where `base` is
+/// one Next64() consumed from the parent — a shape-only split, so bulk
+/// fills are bit-identical under thread pools of any size.
+constexpr size_t kGaussianFillBlock = 4096;
 
 /// SplitMix64-based counter RNG with Gaussian sampling.
 ///
@@ -47,14 +70,38 @@ class SplitRng {
   /// Uniform integer in [0, n). Requires n > 0.
   uint64_t UniformInt(uint64_t n);
 
-  /// Standard normal via Box-Muller (uses the cached spare draw).
+  /// Standard normal via Box-Muller (uses the cached spare draw). This is
+  /// the scalar reference kernel; its stream is unchanged from the
+  /// pre-ziggurat implementation.
   double Gaussian();
 
-  /// Normal with the given mean / stddev.
+  /// Normal with the given mean / stddev (Box-Muller).
   double Gaussian(double mean, double stddev);
 
+  /// Standard normal via the 256-layer ziggurat. Advances this stream by
+  /// however many Next64() draws the rejection loop consumes (one on
+  /// ~98.8% of draws). Does not touch the Box-Muller spare.
+  double GaussianZiggurat();
+
   /// Fills `out` with i.i.d. N(0, stddev^2) draws.
-  void FillGaussian(float* out, size_t n, double stddev);
+  ///
+  /// kZiggurat (default): consumes exactly one Next64() from this stream
+  /// as `base`, then block b of kGaussianFillBlock elements draws
+  /// sequentially from SplitRng(base, {b}) via GaussianZiggurat(). Blocks
+  /// run under the ambient thread pool; the split depends only on n, so
+  /// the result is bit-identical for pools of any size and equal to the
+  /// sequential per-block loop written with the public API.
+  ///
+  /// kBoxMuller: the sequential legacy loop out[i] = stddev * Gaussian(),
+  /// bit-identical to the pre-ziggurat FillGaussian.
+  void FillGaussian(float* out, size_t n, double stddev,
+                    GaussianSampler sampler = GaussianSampler::kZiggurat);
+
+  /// Adds i.i.d. N(0, stddev^2) noise to `data` in place: data[i] += g_i
+  /// where (g_i) is exactly the FillGaussian output for the same state.
+  /// This is the DP upload hot path (no scratch buffer, same contract).
+  void AddGaussian(float* data, size_t n, double stddev,
+                   GaussianSampler sampler = GaussianSampler::kZiggurat);
 
   /// Fisher-Yates shuffle of indices [0, n).
   std::vector<size_t> Permutation(size_t n);
@@ -65,6 +112,10 @@ class SplitRng {
  private:
   SplitRng(uint64_t key, uint64_t counter)
       : key_(key), counter_(counter), has_spare_(false), spare_(0.0) {}
+
+  /// Shared bulk kernel behind FillGaussian / AddGaussian.
+  void BulkGaussian(float* data, size_t n, double stddev,
+                    GaussianSampler sampler, bool accumulate);
 
   uint64_t key_;
   uint64_t counter_;

@@ -19,8 +19,12 @@ namespace dp {
 Result<double> ClassicGaussianSigma(double l2_sensitivity, double epsilon,
                                     double delta);
 
-/// Adds i.i.d. N(0, σ²) noise to `data` in place.
-void PerturbInPlace(float* data, size_t n, double sigma, SplitRng* rng);
+/// Adds i.i.d. N(0, σ²) noise to `data` in place via the batched sampler
+/// (SplitRng::AddGaussian): deterministic under any thread-pool size.
+/// Pass GaussianSampler::kBoxMuller to reproduce the legacy sequential
+/// noise stream bit-for-bit (reference runs / old golden values).
+void PerturbInPlace(float* data, size_t n, double sigma, SplitRng* rng,
+                    GaussianSampler sampler = GaussianSampler::kZiggurat);
 
 }  // namespace dp
 }  // namespace dpbr

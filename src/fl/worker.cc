@@ -86,9 +86,11 @@ std::vector<float> HonestDpWorker::ComputeUpdate(
     ops::Axpy(1.0f, unit.data(), upload.data(), dim_);
   }
   if (options_.sigma > 0.0) {
-    for (size_t k = 0; k < dim_; ++k) {
-      upload[k] += static_cast<float>(rng.Gaussian(0.0, options_.sigma));
-    }
+    // Bulk perturbation (~d draws per round): the blocked sampler is both
+    // the hot-path win and pool-size invariant, so the upload stream does
+    // not depend on how the trainer schedules workers.
+    rng.AddGaussian(upload.data(), dim_, options_.sigma,
+                    options_.noise_sampler);
   }
   ops::Scale(1.0f / static_cast<float>(bc), upload.data(), dim_);
 

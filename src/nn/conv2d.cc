@@ -9,7 +9,10 @@ namespace dpbr {
 namespace nn {
 namespace {
 
-// Workspace slots (per layer instance).
+// Workspace slots (per layer instance). All hold single-example buffers:
+// the fused batch forward streams its per-example im2col panels through
+// GemmBatchedNN's per-thread scratch instead, so nothing here scales
+// with the batch size.
 constexpr size_t kColSlot = 0;    // im2col matrix, K × OH·OW
 constexpr size_t kInputSlot = 1;  // cached forward input(s)
 constexpr size_t kDcolSlot = 2;   // column-space gradient, K × OH·OW
@@ -187,9 +190,27 @@ Tensor Conv2d::ForwardBatch(const Tensor& x) {
   Tensor y({batch, out_ch_, oh, ow});
   size_t in_stride = in_ch_ * h * w;
   size_t out_stride = out_ch_ * oh * ow;
-  for (size_t ex = 0; ex < batch; ++ex) {
-    ForwardOne(cached + ex * in_stride, h, w, y.data() + ex * out_stride);
+  if (kernel_ == Conv2dKernel::kNaive) {
+    for (size_t ex = 0; ex < batch; ++ex) {
+      ForwardOne(cached + ex * in_stride, h, w, y.data() + ex * out_stride);
+    }
+    return y;
   }
+  // Fused path: the whole microbatch is one batched-GEMM dispatch that
+  // writes straight into the (N, OC, Q) output. Each example's im2col
+  // panel is expanded into the dispatch's per-thread scratch right
+  // before its tiles are computed, so it is consumed while cache-hot.
+  // Each output element accumulates products in the same ascending-p
+  // order as the per-example GEMM, so this is bitwise identical to
+  // looping ForwardOne — and, like every kernel here, pool-size
+  // invariant.
+  size_t q = oh * ow;
+  size_t kk = in_ch_ * k_ * k_;
+  GemmBatchedNN(out_ch_, kk, q, batch, weight_.data(), y.data(),
+                bias_.data(), [&](size_t ex, float* col) {
+                  Im2Col(cached + ex * in_stride, in_ch_, h, w, k_, pad_,
+                         col);
+                });
   return y;
 }
 

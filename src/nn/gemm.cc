@@ -25,26 +25,36 @@ constexpr size_t kPanelK = 64;
 // cached while every A row is dotted against it.
 constexpr size_t kTileN = 32;
 
-// Serial NN kernel on a block of C rows [i0, i1).
-void GemmNNRows(size_t i0, size_t i1, size_t k, size_t n, const float* a,
-                const float* b, float* c, const float* row_init) {
+// Column-tile width for the NN kernel. Wide outputs (the fused batch-conv
+// panel is N·OH·OW columns) are cut into tiles so one C-row tile (4 KB)
+// stays in L1 across the whole ascending-p sweep instead of being
+// re-streamed from L2 once per panel row. Column tiling never touches an
+// element's accumulation order, so results are unchanged; it only adds a
+// second parallelism axis (row blocks × column tiles).
+constexpr size_t kColTileNN = 1024;
+
+// Serial NN kernel on the C tile [i0, i1) × [j0, j1).
+void GemmNNTile(size_t i0, size_t i1, size_t j0, size_t j1, size_t k,
+                size_t n, const float* a, const float* b, float* c,
+                const float* row_init) {
+  size_t jn = j1 - j0;
   for (size_t i = i0; i < i1; ++i) {
-    float* crow = c + i * n;
+    float* crow = c + i * n + j0;
     if (row_init != nullptr) {
-      for (size_t j = 0; j < n; ++j) crow[j] = row_init[i];
+      for (size_t j = 0; j < jn; ++j) crow[j] = row_init[i];
     } else {
-      std::memset(crow, 0, n * sizeof(float));
+      std::memset(crow, 0, jn * sizeof(float));
     }
   }
   for (size_t p0 = 0; p0 < k; p0 += kPanelK) {
     size_t p1 = std::min(k, p0 + kPanelK);
     for (size_t i = i0; i < i1; ++i) {
       const float* arow = a + i * k;
-      float* crow = c + i * n;
+      float* crow = c + i * n + j0;
       for (size_t p = p0; p < p1; ++p) {
         float aip = arow[p];
-        const float* brow = b + p * n;
-        for (size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+        const float* brow = b + p * n + j0;
+        for (size_t j = 0; j < jn; ++j) crow[j] += aip * brow[j];
       }
     }
   }
@@ -114,8 +124,44 @@ float* Workspace::Get(size_t slot, size_t n) {
 void GemmNN(size_t m, size_t k, size_t n, const float* a, const float* b,
             float* c, const float* row_init) {
   if (m == 0 || n == 0) return;
-  ParallelForBlocked(m, kRowBlock, [&](size_t lo, size_t hi) {
-    GemmNNRows(lo, hi, k, n, a, b, c, row_init);
+  // 2-d work split: tasks are (row block, column tile) pairs, derived
+  // from (m, n) and compile-time constants only — never the pool size.
+  size_t col_tiles = (n + kColTileNN - 1) / kColTileNN;
+  size_t row_blocks = (m + kRowBlock - 1) / kRowBlock;
+  ParallelForBlocked(row_blocks * col_tiles, 1, [&](size_t t0, size_t t1) {
+    for (size_t t = t0; t < t1; ++t) {
+      size_t i0 = (t / col_tiles) * kRowBlock;
+      size_t j0 = (t % col_tiles) * kColTileNN;
+      GemmNNTile(i0, std::min(m, i0 + kRowBlock), j0,
+                 std::min(n, j0 + kColTileNN), k, n, a, b, c, row_init);
+    }
+  });
+}
+
+void GemmBatchedNN(
+    size_t m, size_t k, size_t n, size_t batch, const float* a, float* c,
+    const float* row_init,
+    const std::function<void(size_t, float*)>& fill_panel) {
+  if (m == 0 || n == 0 || batch == 0) return;
+  ParallelForBlocked(batch, 1, [&](size_t e0, size_t e1) {
+    // One panel per worker thread (tasks run inline or on distinct pool
+    // workers): grow-only, reused across examples and dispatches, so the
+    // serial case keeps a single cache-hot panel exactly like the
+    // per-example path. Panel contents never outlive the example's
+    // tiles, so this sharing cannot change any output bit.
+    static thread_local std::vector<float> panel;
+    if (panel.size() < k * n) panel.resize(k * n);
+    for (size_t ex = e0; ex < e1; ++ex) {
+      fill_panel(ex, panel.data());
+      float* cx = c + ex * m * n;
+      for (size_t i0 = 0; i0 < m; i0 += kRowBlock) {
+        for (size_t j0 = 0; j0 < n; j0 += kColTileNN) {
+          GemmNNTile(i0, std::min(m, i0 + kRowBlock), j0,
+                     std::min(n, j0 + kColTileNN), k, n, a, panel.data(),
+                     cx, row_init);
+        }
+      }
+    }
   });
 }
 

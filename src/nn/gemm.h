@@ -16,6 +16,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <vector>
 
 namespace dpbr {
@@ -46,6 +47,24 @@ class Workspace {
 void GemmNN(size_t m, size_t k, size_t n, const float* a, const float* b,
             float* c, const float* row_init = nullptr);
 
+/// Batched NN GEMM sharing one left operand: for each ex in [0, batch),
+/// C_ex (m×n) = A (m×k) · B_ex (k×n) with C_ex = c + ex·m·n. Bitwise
+/// identical to calling GemmNN per example — same per-element
+/// ascending-p accumulation — but the whole batch is one parallel
+/// dispatch (one pool barrier instead of `batch`) split across examples
+/// by the shape only, so it is pool-size invariant like every other
+/// kernel here. The right operands are streamed, not materialized:
+/// fill_panel(ex, panel) is called inside example ex's task to write the
+/// k×n matrix B_ex into `panel`, a per-thread grow-only scratch buffer
+/// that is consumed immediately while cache-hot (its contents are
+/// transient, so sharing it per thread cannot affect results). This is
+/// the fused batch-conv forward kernel: fill_panel is Im2Col and C the
+/// (N, OC, OH·OW) output tensor written in place.
+void GemmBatchedNN(
+    size_t m, size_t k, size_t n, size_t batch, const float* a, float* c,
+    const float* row_init,
+    const std::function<void(size_t, float*)>& fill_panel);
+
 /// C (m×n) = Aᵀ · B for row-major A (k×m), B (k×n). Same fixed
 /// ascending-p accumulation order as GemmNN.
 void GemmTN(size_t m, size_t k, size_t n, const float* a, const float* b,
@@ -64,6 +83,7 @@ void GemmNT(size_t m, size_t k, size_t n, const float* a, const float* b,
 /// bounds taps are written as 0.
 void Im2Col(const float* x, size_t channels, size_t h, size_t w,
             size_t kernel, size_t pad, float* col);
+
 
 /// Scatter-adds a column-matrix gradient back onto the (C, H, W) image
 /// gradient: the exact adjoint of Im2Col. `dx` must be pre-zeroed (or

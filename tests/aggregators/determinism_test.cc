@@ -20,6 +20,9 @@
 #include "core/dpbr_aggregator.h"
 #include "core/first_stage.h"
 #include "core/second_stage.h"
+#include "data/synthetic.h"
+#include "fl/worker.h"
+#include "nn/model_zoo.h"
 
 namespace dpbr {
 namespace {
@@ -166,6 +169,93 @@ TEST(FirstStageDeterminismTest, ApplyVerdictsAndZeroing) {
     flat.reserve(kN * kDim);
     for (const auto& u : copy) flat.insert(flat.end(), u.begin(), u.end());
     return flat;
+  });
+}
+
+// --- Batched Gaussian sampling: the FillGaussian/AddGaussian block split
+// depends only on n, so bulk fills must be bit-identical under any pool
+// size AND equal to the documented sequential per-block draw loop.
+
+TEST(FillGaussianDeterminismTest, PoolInvariant) {
+  // Several full blocks plus a ragged final block.
+  const size_t n = 3 * kGaussianFillBlock + 1234;
+  ExpectPoolInvariant([&] {
+    SplitRng rng(23, {5});
+    std::vector<float> buf(n);
+    rng.FillGaussian(buf.data(), n, 0.7);
+    return buf;
+  });
+}
+
+TEST(FillGaussianDeterminismTest, AddGaussianPoolInvariant) {
+  const size_t n = 2 * kGaussianFillBlock + 99;
+  ExpectPoolInvariant([&] {
+    SplitRng rng(27, {7});
+    std::vector<float> buf(n, 1.5f);
+    rng.AddGaussian(buf.data(), n, 0.4);
+    return buf;
+  });
+}
+
+TEST(FillGaussianDeterminismTest, MatchesSequentialDrawLoop) {
+  // The stream contract, written out with nothing but the public API:
+  // FillGaussian consumes one Next64() as `base`, then block b draws
+  // sequentially from SplitRng(base, {b}).
+  const size_t n = 2 * kGaussianFillBlock + 77;
+  const double stddev = 1.3;
+  SplitRng rng(29, {9});
+  SplitRng peek = rng;  // copy shares the state FillGaussian will consume
+  std::vector<float> got(n);
+  rng.FillGaussian(got.data(), n, stddev);
+  uint64_t base = peek.Next64();
+  for (size_t b = 0; b * kGaussianFillBlock < n; ++b) {
+    SplitRng block(base, {b});
+    size_t lo = b * kGaussianFillBlock;
+    size_t hi = std::min(n, lo + kGaussianFillBlock);
+    for (size_t i = lo; i < hi; ++i) {
+      ASSERT_EQ(got[i],
+                static_cast<float>(stddev * block.GaussianZiggurat()))
+          << "element " << i;
+    }
+  }
+  // The fill advanced the parent by exactly that one draw.
+  EXPECT_EQ(rng.Next64(), peek.Next64());
+}
+
+TEST(FillGaussianDeterminismTest, AddGaussianMatchesFillGaussian) {
+  const size_t n = kGaussianFillBlock + 50;
+  SplitRng a(31, {3}), b(31, {3});
+  std::vector<float> filled(n), added(n, 2.0f);
+  a.FillGaussian(filled.data(), n, 0.9);
+  b.AddGaussian(added.data(), n, 0.9);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(added[i], 2.0f + filled[i]) << "element " << i;
+  }
+}
+
+// The whole DP upload (batched kernels + bulk noise) must not depend on
+// how the trainer schedules workers across the pool.
+TEST(WorkerUploadDeterminismTest, ComputeUpdatePoolInvariant) {
+  data::SyntheticSpec spec;
+  spec.num_classes = 4;
+  spec.feature_dim = 16;
+  spec.train_size = 64;
+  spec.val_size = 8;
+  spec.test_size = 8;
+  auto bundle = data::GenerateSynthetic(spec, 5);
+  ASSERT_TRUE(bundle.ok());
+  nn::ModelFactory factory = nn::MlpFactory(16, 8, 4);
+  auto model = factory();
+  SplitRng rng(1);
+  model->InitParams(&rng);
+  std::vector<float> params = model->FlatParams();
+  fl::WorkerOptions opts;
+  opts.batch_size = 8;
+  opts.sigma = 1.0;
+  ExpectPoolInvariant([&] {
+    fl::HonestDpWorker worker(
+        0, data::DatasetView::All(&bundle.value().train), factory, opts, 7);
+    return worker.ComputeUpdate(params, 1);
   });
 }
 

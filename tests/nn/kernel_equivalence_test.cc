@@ -223,6 +223,65 @@ void CheckBatchedMatchesPerExample(std::unique_ptr<Sequential> model,
   }
 }
 
+// --- Fused batch-conv forward: ForwardBatch runs one (OC × N·OHW) GEMM
+// over concatenated im2col panels. Per output element the accumulation
+// order is unchanged, so the fused path must be bitwise equal to looping
+// the single-example forward — including odd batch sizes that leave a
+// ragged panel — and to the naive batch kernel within 1e-4.
+
+TEST(KernelEquivalenceTest, FusedBatchForwardMatchesPerExampleBitwise) {
+  for (size_t batch : {size_t{1}, size_t{3}, size_t{7}}) {
+    for (const ConvCase& c : kCases) {
+      ConvPair p = MakePair(c.in_ch, c.out_ch, c.k, c.pad, 53);
+      Tensor xb = RandomTensor({batch, c.in_ch, c.h, c.w}, 59 + batch);
+      Tensor yb = p.gemm->ForwardBatch(xb);
+      size_t feat = c.in_ch * c.h * c.w;
+      size_t out_stride = yb.size() / batch;
+      for (size_t ex = 0; ex < batch; ++ex) {
+        Tensor x({c.in_ch, c.h, c.w},
+                 std::vector<float>(xb.data() + ex * feat,
+                                    xb.data() + (ex + 1) * feat));
+        Tensor y = p.gemm->Forward(x);
+        ASSERT_EQ(y.size(), out_stride);
+        for (size_t i = 0; i < y.size(); ++i) {
+          ASSERT_EQ(yb[ex * out_stride + i], y[i])
+              << "batch " << batch << " example " << ex << " index " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, FusedBatchForwardMatchesNaiveBatch) {
+  for (size_t batch : {size_t{1}, size_t{3}, size_t{7}}) {
+    for (const ConvCase& c : kCases) {
+      ConvPair p = MakePair(c.in_ch, c.out_ch, c.k, c.pad, 61);
+      Tensor xb = RandomTensor({batch, c.in_ch, c.h, c.w}, 67 + batch);
+      ExpectNear(p.gemm->ForwardBatch(xb), p.naive->ForwardBatch(xb), 1e-4);
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, FusedBatchForwardPoolInvariant) {
+  size_t hw = std::max<size_t>(2, std::thread::hardware_concurrency());
+  for (const ConvCase& c : kCases) {
+    std::vector<Tensor> outs;
+    for (size_t threads : {size_t{1}, size_t{2}, hw}) {
+      ThreadPool pool(threads);
+      ScopedPoolOverride override_pool(&pool);
+      ConvPair p = MakePair(c.in_ch, c.out_ch, c.k, c.pad, 71);
+      Tensor xb = RandomTensor({7, c.in_ch, c.h, c.w}, 73);
+      outs.push_back(p.gemm->ForwardBatch(xb));
+    }
+    for (size_t i = 1; i < outs.size(); ++i) {
+      ASSERT_EQ(outs[0].shape(), outs[i].shape());
+      for (size_t j = 0; j < outs[0].size(); ++j) {
+        ASSERT_EQ(outs[0][j], outs[i][j]) << "pool run " << i;
+      }
+    }
+  }
+}
+
 TEST(KernelEquivalenceTest, BatchedCnnMatchesPerExampleBitwise) {
   CheckBatchedMatchesPerExample(MakeCnn(1, 8, 3, 4), {1, 8, 8}, 4, 41);
 }
