@@ -23,8 +23,10 @@
 #include "fl/worker.h"
 #include "nn/conv2d.h"
 #include "nn/gemm.h"
+#include "nn/group_norm.h"
 #include "nn/linear.h"
 #include "nn/model_zoo.h"
+#include "nn/pooling.h"
 
 namespace {
 
@@ -137,6 +139,51 @@ void BM_Conv2dForwardBatchPerExample(benchmark::State& state) {
                           kImg);
 }
 BENCHMARK(BM_Conv2dForwardBatchPerExample)->Unit(benchmark::kMicrosecond);
+
+// --- Batched GroupNorm / pooling: one threaded dispatch per microbatch
+// (previously a serial per-example loop inside ForwardBatch). Shape is
+// the post-conv CNN stage activation: (16, 32, 32, 32).
+
+Tensor RandomStageBatch(uint64_t seed) {
+  SplitRng rng(seed);
+  Tensor x({kBatch, kOutCh, kImg, kImg});
+  x.FillGaussian(&rng, 1.0);
+  return x;
+}
+
+void BM_GroupNormForwardBatch(benchmark::State& state) {
+  nn::GroupNorm gn(4, kOutCh, 1e-5, /*affine=*/false);
+  Tensor x = RandomStageBatch(17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gn.ForwardBatch(x));
+  }
+  state.SetItemsProcessed(state.iterations() * x.size());
+}
+BENCHMARK(BM_GroupNormForwardBatch)->Unit(benchmark::kMicrosecond);
+
+void BM_GroupNormBackwardBatch(benchmark::State& state) {
+  nn::GroupNorm gn(4, kOutCh, 1e-5, /*affine=*/false);
+  Tensor x = RandomStageBatch(17);
+  Tensor y = gn.ForwardBatch(x);
+  SplitRng rng(19);
+  Tensor gy(y.shape());
+  gy.FillGaussian(&rng, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gn.BackwardBatch(gy, {}));
+  }
+  state.SetItemsProcessed(state.iterations() * x.size());
+}
+BENCHMARK(BM_GroupNormBackwardBatch)->Unit(benchmark::kMicrosecond);
+
+void BM_PoolForwardBatch(benchmark::State& state) {
+  nn::AdaptiveAvgPool2d pool(4, 4);
+  Tensor x = RandomStageBatch(23);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.ForwardBatch(x));
+  }
+  state.SetItemsProcessed(state.iterations() * x.size());
+}
+BENCHMARK(BM_PoolForwardBatch)->Unit(benchmark::kMicrosecond);
 
 // Raw GEMM throughput at the conv-lowered shape:
 // (32 × 27) · (27 × 1024) per forward.

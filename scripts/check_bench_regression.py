@@ -40,6 +40,9 @@ HOT_BENCHMARKS = [
     "BM_Conv2dForward",
     "BM_Conv2dForwardBatch",
     "BM_Conv2dBackward",
+    "BM_GroupNormForwardBatch",
+    "BM_GroupNormBackwardBatch",
+    "BM_PoolForwardBatch",
     "BM_GemmConvShape",
     "BM_LocalStepCnn",
 ]

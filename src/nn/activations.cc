@@ -3,49 +3,132 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace dpbr {
 namespace nn {
+namespace {
+
+constexpr size_t kOutSlot = 0;  // cached output(s)
+
+// Elements per task in the batched elementwise dispatches. Fixed, so the
+// split depends on the tensor size only; every element is independent,
+// making the parallel result trivially bitwise equal to the serial loop.
+constexpr size_t kEltBlock = 4096;
+
+inline float EluValue(float v, float a) {
+  return v > 0.0f ? v : a * (std::exp(v) - 1.0f);
+}
+
+// ELU preserves sign, so y <= 0 ⟺ x <= 0, where d/dx α(eˣ-1) = y + α.
+inline float EluGrad(float g, float y, float a) {
+  return y <= 0.0f ? g * (y + a) : g;
+}
+
+inline float ReluValue(float v) { return v < 0.0f ? 0.0f : v; }
+
+// y == 0 ⟺ x <= 0 (the subgradient-0 convention the old path used).
+inline float ReluGrad(float g, float y) { return y == 0.0f ? 0.0f : g; }
+
+}  // namespace
 
 Tensor Elu::Forward(const Tensor& x) {
   Tensor y = x;
   float a = static_cast<float>(alpha_);
+  float* cached = ws_.Get(kOutSlot, y.size());
   for (size_t i = 0; i < y.size(); ++i) {
-    if (y[i] <= 0.0f) y[i] = a * (std::exp(y[i]) - 1.0f);
+    y[i] = EluValue(y[i], a);
+    cached[i] = y[i];
   }
-  cached_output_ = y;
+  state_.SetPerExample(x.shape());
   return y;
 }
 
 Tensor Elu::Backward(const Tensor& grad_out) {
-  DPBR_CHECK(grad_out.SameShape(cached_output_));
+  const std::vector<size_t>& in = state_.RequirePerExample("ELU");
+  DPBR_CHECK(grad_out.shape() == in);
   Tensor dx = grad_out;
   float a = static_cast<float>(alpha_);
-  for (size_t i = 0; i < dx.size(); ++i) {
-    // ELU preserves sign, so y <= 0 ⟺ x <= 0, where d/dx α(eˣ-1) = y + α.
-    if (cached_output_[i] <= 0.0f) {
-      dx[i] *= cached_output_[i] + a;
+  const float* y = ws_.Get(kOutSlot, dx.size());
+  for (size_t i = 0; i < dx.size(); ++i) dx[i] = EluGrad(dx[i], y[i], a);
+  return dx;
+}
+
+Tensor Elu::ForwardBatch(const Tensor& x) {
+  DPBR_CHECK_GE(x.ndim(), 2u);
+  Tensor y = x;
+  float a = static_cast<float>(alpha_);
+  float* cached = ws_.Get(kOutSlot, y.size());
+  float* yd = y.data();
+  state_.SetBatched(x.shape());
+  ParallelForBlocked(y.size(), kEltBlock, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      yd[i] = EluValue(yd[i], a);
+      cached[i] = yd[i];
     }
-  }
+  });
+  return y;
+}
+
+Tensor Elu::BackwardBatch(const Tensor& grad_out,
+                          const PerExampleGradSink& /*sink*/) {
+  const std::vector<size_t>& in = state_.RequireBatched("ELU");
+  DPBR_CHECK(grad_out.shape() == in);
+  Tensor dx = grad_out;
+  float a = static_cast<float>(alpha_);
+  const float* y = ws_.Get(kOutSlot, dx.size());
+  float* dxd = dx.data();
+  ParallelForBlocked(dx.size(), kEltBlock, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) dxd[i] = EluGrad(dxd[i], y[i], a);
+  });
   return dx;
 }
 
 Tensor Relu::Forward(const Tensor& x) {
   Tensor y = x;
+  float* cached = ws_.Get(kOutSlot, y.size());
   for (size_t i = 0; i < y.size(); ++i) {
-    if (y[i] < 0.0f) y[i] = 0.0f;
+    y[i] = ReluValue(y[i]);
+    cached[i] = y[i];
   }
-  cached_output_ = y;
+  state_.SetPerExample(x.shape());
   return y;
 }
 
 Tensor Relu::Backward(const Tensor& grad_out) {
-  DPBR_CHECK(grad_out.SameShape(cached_output_));
+  const std::vector<size_t>& in = state_.RequirePerExample("ReLU");
+  DPBR_CHECK(grad_out.shape() == in);
   Tensor dx = grad_out;
-  for (size_t i = 0; i < dx.size(); ++i) {
-    // y == 0 ⟺ x <= 0 (the subgradient-0 convention the old path used).
-    if (cached_output_[i] == 0.0f) dx[i] = 0.0f;
-  }
+  const float* y = ws_.Get(kOutSlot, dx.size());
+  for (size_t i = 0; i < dx.size(); ++i) dx[i] = ReluGrad(dx[i], y[i]);
+  return dx;
+}
+
+Tensor Relu::ForwardBatch(const Tensor& x) {
+  DPBR_CHECK_GE(x.ndim(), 2u);
+  Tensor y = x;
+  float* cached = ws_.Get(kOutSlot, y.size());
+  float* yd = y.data();
+  state_.SetBatched(x.shape());
+  ParallelForBlocked(y.size(), kEltBlock, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      yd[i] = ReluValue(yd[i]);
+      cached[i] = yd[i];
+    }
+  });
+  return y;
+}
+
+Tensor Relu::BackwardBatch(const Tensor& grad_out,
+                           const PerExampleGradSink& /*sink*/) {
+  const std::vector<size_t>& in = state_.RequireBatched("ReLU");
+  DPBR_CHECK(grad_out.shape() == in);
+  Tensor dx = grad_out;
+  const float* y = ws_.Get(kOutSlot, dx.size());
+  float* dxd = dx.data();
+  ParallelForBlocked(dx.size(), kEltBlock, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) dxd[i] = ReluGrad(dxd[i], y[i]);
+  });
   return dx;
 }
 

@@ -2,15 +2,19 @@
 //
 // Both cache only their *output*: each function's derivative is
 // recoverable from the output sign (x <= 0 ⟺ y <= 0 for ELU, y == 0 for
-// ReLU), which halves the cached state. Being elementwise, the batched
-// path is the per-example path — the leading batch dimension needs no
-// special handling.
+// ReLU), which halves the cached state. The cached output lives in a
+// grow-only Workspace slot shared between the per-example and batched
+// paths under a BatchState guard, and the batched path runs the whole
+// microbatch as one threaded elementwise dispatch (fixed block size, so
+// the split is shape-only and results are bitwise equal to the
+// per-example loop under any pool size).
 
 #ifndef DPBR_NN_ACTIVATIONS_H_
 #define DPBR_NN_ACTIVATIONS_H_
 
 #include <string>
 
+#include "nn/gemm.h"
 #include "nn/layer.h"
 
 namespace dpbr {
@@ -23,16 +27,15 @@ class Elu : public Layer {
 
   Tensor Forward(const Tensor& x) override;
   Tensor Backward(const Tensor& grad_out) override;
-  Tensor ForwardBatch(const Tensor& x) override { return Forward(x); }
+  Tensor ForwardBatch(const Tensor& x) override;
   Tensor BackwardBatch(const Tensor& grad_out,
-                       const PerExampleGradSink& /*sink*/) override {
-    return Backward(grad_out);
-  }
+                       const PerExampleGradSink& sink) override;
   std::string name() const override { return "ELU"; }
 
  private:
   double alpha_;
-  Tensor cached_output_;
+  Workspace ws_;  // slot 0: cached output(s)
+  BatchState state_;
 };
 
 /// ReLU(x) = max(x, 0).
@@ -40,15 +43,14 @@ class Relu : public Layer {
  public:
   Tensor Forward(const Tensor& x) override;
   Tensor Backward(const Tensor& grad_out) override;
-  Tensor ForwardBatch(const Tensor& x) override { return Forward(x); }
+  Tensor ForwardBatch(const Tensor& x) override;
   Tensor BackwardBatch(const Tensor& grad_out,
-                       const PerExampleGradSink& /*sink*/) override {
-    return Backward(grad_out);
-  }
+                       const PerExampleGradSink& sink) override;
   std::string name() const override { return "ReLU"; }
 
  private:
-  Tensor cached_output_;
+  Workspace ws_;  // slot 0: cached output(s)
+  BatchState state_;
 };
 
 }  // namespace nn

@@ -146,9 +146,7 @@ Tensor Conv2d::Forward(const Tensor& x) {
   // Cache the input in workspace storage (no per-call allocation).
   float* cached = ws_.Get(kInputSlot, x.size());
   std::memcpy(cached, x.data(), x.size() * sizeof(float));
-  cached_batch_ = 0;
-  cached_h_ = h;
-  cached_w_ = w;
+  state_.SetPerExample(x.shape());
   size_t oh = h + 2 * pad_ - k_ + 1;
   size_t ow = w + 2 * pad_ - k_ + 1;
   Tensor y({out_ch_, oh, ow});
@@ -157,8 +155,8 @@ Tensor Conv2d::Forward(const Tensor& x) {
 }
 
 Tensor Conv2d::Backward(const Tensor& grad_out) {
-  DPBR_CHECK_EQ(cached_batch_, 0u);
-  size_t h = cached_h_, w = cached_w_;
+  const std::vector<size_t>& in = state_.RequirePerExample("Conv2d");
+  size_t h = in[1], w = in[2];
   size_t oh = h + 2 * pad_ - k_ + 1;
   size_t ow = w + 2 * pad_ - k_ + 1;
   DPBR_CHECK_EQ(grad_out.ndim(), 3u);
@@ -182,9 +180,7 @@ Tensor Conv2d::ForwardBatch(const Tensor& x) {
   DPBR_CHECK_GE(w + 2 * pad_ + 1, k_);
   float* cached = ws_.Get(kInputSlot, x.size());
   std::memcpy(cached, x.data(), x.size() * sizeof(float));
-  cached_batch_ = batch;
-  cached_h_ = h;
-  cached_w_ = w;
+  state_.SetBatched(x.shape());
   size_t oh = h + 2 * pad_ - k_ + 1;
   size_t ow = w + 2 * pad_ - k_ + 1;
   Tensor y({batch, out_ch_, oh, ow});
@@ -216,9 +212,8 @@ Tensor Conv2d::ForwardBatch(const Tensor& x) {
 
 Tensor Conv2d::BackwardBatch(const Tensor& grad_out,
                              const PerExampleGradSink& sink) {
-  size_t batch = cached_batch_;
-  DPBR_CHECK_GT(batch, 0u);
-  size_t h = cached_h_, w = cached_w_;
+  const std::vector<size_t>& in = state_.RequireBatched("Conv2d");
+  size_t batch = in[0], h = in[2], w = in[3];
   size_t oh = h + 2 * pad_ - k_ + 1;
   size_t ow = w + 2 * pad_ - k_ + 1;
   DPBR_CHECK_EQ(grad_out.ndim(), 4u);

@@ -76,10 +76,8 @@ class Conv2d : public Layer {
   std::vector<float> bias_grad_;
   // im2col / dcol scratch plus the cached forward input(s).
   Workspace ws_;
-  // Shape of the cached input: batch (0 → single example) and spatial.
-  size_t cached_batch_ = 0;
-  size_t cached_h_ = 0;
-  size_t cached_w_ = 0;
+  // Which path (per-example or batched) last filled the shared caches.
+  BatchState state_;
 };
 
 }  // namespace nn

@@ -121,6 +121,13 @@ float* Workspace::Get(size_t slot, size_t n) {
   return buf.data();
 }
 
+double* Workspace::GetDouble(size_t slot, size_t n) {
+  while (dbuffers_.size() <= slot) dbuffers_.emplace_back();
+  std::vector<double>& buf = dbuffers_[slot];
+  if (buf.size() < n) buf.resize(n);
+  return buf.data();
+}
+
 void GemmNN(size_t m, size_t k, size_t n, const float* a, const float* b,
             float* c, const float* row_init) {
   if (m == 0 || n == 0) return;

@@ -22,19 +22,26 @@
 namespace dpbr {
 namespace nn {
 
-/// Grow-only scratch-buffer arena. Each slot is a persistent float buffer
-/// that is resized (never shrunk) on request; repeated calls with the
-/// same shapes perform no allocation after the first. A Workspace belongs
-/// to exactly one layer instance and is not thread-safe — layers already
-/// serve one example (or one microbatch) at a time.
+/// Grow-only scratch-buffer arena. Each slot is a persistent buffer that
+/// is resized (never shrunk) on request; repeated calls with the same
+/// shapes perform no allocation and no clearing after the first — slots
+/// whose every element the caller overwrites carry zero steady-state
+/// cost. A Workspace belongs to exactly one layer instance and is not
+/// thread-safe — layers already serve one example (or one microbatch) at
+/// a time. Float and double slots live in independent index spaces.
 class Workspace {
  public:
   /// Returns slot `slot` grown to hold at least `n` floats. The pointer
   /// is stable until the next Get() on the same slot with a larger `n`.
   float* Get(size_t slot, size_t n);
 
+  /// Double-precision counterpart of Get() (e.g. GroupNorm's per-group
+  /// 1/std, which the kernels compute in double).
+  double* GetDouble(size_t slot, size_t n);
+
  private:
   std::deque<std::vector<float>> buffers_;
+  std::deque<std::vector<double>> dbuffers_;
 };
 
 /// C (m×n) = A (m×k) · B (k×n), all row-major. When `row_init` is

@@ -3,12 +3,14 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace dpbr {
 namespace nn {
 namespace {
 
-constexpr size_t kXhatSlot = 0;  // cached normalized input(s)
+constexpr size_t kXhatSlot = 0;    // float slot: cached normalized input(s)
+constexpr size_t kInvStdSlot = 0;  // double slot: 1/std per (example, group)
 
 }  // namespace
 
@@ -112,25 +114,24 @@ Tensor GroupNorm::Forward(const Tensor& x) {
   DPBR_CHECK_EQ(x.dim(0), channels_);
   size_t h = x.dim(1), w = x.dim(2);
   float* xhat = ws_.Get(kXhatSlot, x.size());
-  cached_inv_std_.assign(groups_, 0.0);
-  cached_batch_ = 0;
-  cached_h_ = h;
-  cached_w_ = w;
+  double* inv_std = ws_.GetDouble(kInvStdSlot, groups_);
+  state_.SetPerExample(x.shape());
   Tensor y({channels_, h, w});
-  ForwardOne(x.data(), h * w, xhat, y.data(), cached_inv_std_.data());
+  ForwardOne(x.data(), h * w, xhat, y.data(), inv_std);
   return y;
 }
 
 Tensor GroupNorm::Backward(const Tensor& grad_out) {
-  DPBR_CHECK_EQ(cached_batch_, 0u);
-  size_t h = cached_h_, w = cached_w_;
+  const std::vector<size_t>& in = state_.RequirePerExample("GroupNorm");
+  size_t h = in[1], w = in[2];
   DPBR_CHECK_EQ(grad_out.ndim(), 3u);
   DPBR_CHECK_EQ(grad_out.dim(0), channels_);
   DPBR_CHECK_EQ(grad_out.dim(1), h);
   DPBR_CHECK_EQ(grad_out.dim(2), w);
   const float* xhat = ws_.Get(kXhatSlot, channels_ * h * w);
+  const double* inv_std = ws_.GetDouble(kInvStdSlot, groups_);
   Tensor dx({channels_, h, w});
-  BackwardOne(grad_out.data(), xhat, cached_inv_std_.data(), h * w, dx.data(),
+  BackwardOne(grad_out.data(), xhat, inv_std, h * w, dx.data(),
               affine_ ? gamma_grad_.data() : nullptr,
               affine_ ? beta_grad_.data() : nullptr);
   return dx;
@@ -143,24 +144,31 @@ Tensor GroupNorm::ForwardBatch(const Tensor& x) {
   DPBR_CHECK_EQ(x.dim(1), channels_);
   size_t h = x.dim(2), w = x.dim(3);
   float* xhat = ws_.Get(kXhatSlot, x.size());
-  cached_inv_std_.assign(batch * groups_, 0.0);
-  cached_batch_ = batch;
-  cached_h_ = h;
-  cached_w_ = w;
+  // Grow-only, never cleared: ForwardOne overwrites every (example,
+  // group) element it is handed, so zeroing would be pure memset cost.
+  double* inv_std = ws_.GetDouble(kInvStdSlot, batch * groups_);
+  state_.SetBatched(x.shape());
   Tensor y({batch, channels_, h, w});
   size_t stride = channels_ * h * w;
-  for (size_t ex = 0; ex < batch; ++ex) {
-    ForwardOne(x.data() + ex * stride, h * w, xhat + ex * stride,
-               y.data() + ex * stride, cached_inv_std_.data() + ex * groups_);
-  }
+  const float* xd = x.data();
+  float* yd = y.data();
+  // One dispatch per microbatch: examples touch disjoint slices of x̂, y
+  // and 1/std, and per-example statistics are independent, so the split
+  // (by example, shape-only) is race-free, pool-size invariant and
+  // bitwise equal to the serial per-example loop.
+  ParallelForBlocked(batch, 1, [&](size_t e0, size_t e1) {
+    for (size_t ex = e0; ex < e1; ++ex) {
+      ForwardOne(xd + ex * stride, h * w, xhat + ex * stride,
+                 yd + ex * stride, inv_std + ex * groups_);
+    }
+  });
   return y;
 }
 
 Tensor GroupNorm::BackwardBatch(const Tensor& grad_out,
                                 const PerExampleGradSink& sink) {
-  size_t batch = cached_batch_;
-  DPBR_CHECK_GT(batch, 0u);
-  size_t h = cached_h_, w = cached_w_;
+  const std::vector<size_t>& in = state_.RequireBatched("GroupNorm");
+  size_t batch = in[0], h = in[2], w = in[3];
   DPBR_CHECK_EQ(grad_out.ndim(), 4u);
   DPBR_CHECK_EQ(grad_out.dim(0), batch);
   DPBR_CHECK_EQ(grad_out.dim(1), channels_);
@@ -168,18 +176,26 @@ Tensor GroupNorm::BackwardBatch(const Tensor& grad_out,
   DPBR_CHECK_EQ(grad_out.dim(3), w);
   size_t stride = channels_ * h * w;
   const float* xhat = ws_.Get(kXhatSlot, batch * stride);
+  const double* inv_std = ws_.GetDouble(kInvStdSlot, batch * groups_);
   Tensor dx({batch, channels_, h, w});
-  for (size_t ex = 0; ex < batch; ++ex) {
-    float* ggrad = nullptr;
-    float* bgrad = nullptr;
-    if (affine_) {
-      ggrad = sink.Slot(ex);
-      bgrad = ggrad + gamma_.size();
+  const float* gy = grad_out.data();
+  float* dxd = dx.data();
+  // Per-example gradients stay separated (each example's affine gradient
+  // lands in its own sink row), but the per-example work runs inside one
+  // threaded dispatch: every example writes disjoint dx / sink slices.
+  ParallelForBlocked(batch, 1, [&](size_t e0, size_t e1) {
+    for (size_t ex = e0; ex < e1; ++ex) {
+      float* ggrad = nullptr;
+      float* bgrad = nullptr;
+      if (affine_) {
+        ggrad = sink.Slot(ex);
+        bgrad = ggrad + gamma_.size();
+      }
+      BackwardOne(gy + ex * stride, xhat + ex * stride,
+                  inv_std + ex * groups_, h * w, dxd + ex * stride, ggrad,
+                  bgrad);
     }
-    BackwardOne(grad_out.data() + ex * stride, xhat + ex * stride,
-                cached_inv_std_.data() + ex * groups_, h * w,
-                dx.data() + ex * stride, ggrad, bgrad);
-  }
+  });
   return dx;
 }
 

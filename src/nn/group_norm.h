@@ -1,7 +1,9 @@
 // GroupNorm over (C, H, W) examples and (N, C, H, W) microbatches, as
 // used by the paper's MNIST and Colorectal CNNs (NumGroups=4,
 // NumChannels=16). Statistics are always per example, so the batched
-// path loops the per-example kernel over workspace-cached activations.
+// path runs the per-example kernel over all examples inside a single
+// threaded dispatch (examples are independent, the split is shape-only,
+// and the result is bitwise equal to the serial per-example loop).
 
 #ifndef DPBR_NN_GROUP_NORM_H_
 #define DPBR_NN_GROUP_NORM_H_
@@ -52,13 +54,11 @@ class GroupNorm : public Layer {
   std::vector<float> beta_;
   std::vector<float> gamma_grad_;
   std::vector<float> beta_grad_;
-  // Workspace-cached normalized input x̂ (batch-sized).
+  // Workspace-cached normalized input x̂ (float slot, batch-sized) and
+  // 1/std per (example, group) (double slot). Both grow-only and shared
+  // between the per-example and batched paths under `state_`'s guard.
   Workspace ws_;
-  // 1/std per (example, group); batch 0 → single-example cache.
-  std::vector<double> cached_inv_std_;
-  size_t cached_batch_ = 0;
-  size_t cached_h_ = 0;
-  size_t cached_w_ = 0;
+  BatchState state_;
 };
 
 }  // namespace nn

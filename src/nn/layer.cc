@@ -5,6 +5,41 @@
 namespace dpbr {
 namespace nn {
 
+void BatchState::SetPerExample(const std::vector<size_t>& shape) {
+  path_ = Path::kPerExample;
+  shape_ = shape;
+}
+
+void BatchState::SetBatched(const std::vector<size_t>& shape) {
+  path_ = Path::kBatched;
+  shape_ = shape;
+}
+
+const std::vector<size_t>& BatchState::RequirePerExample(
+    const char* layer) const {
+  if (path_ != Path::kPerExample) {
+    DPBR_LOG_STREAM(Fatal)
+        << layer << ": cached-state contract violated — Backward requires "
+        << "the last forward to be Forward, but "
+        << (path_ == Path::kNone ? "no forward has run"
+                                 : "it was ForwardBatch")
+        << "; the shared caches would be stale";
+  }
+  return shape_;
+}
+
+const std::vector<size_t>& BatchState::RequireBatched(
+    const char* layer) const {
+  if (path_ != Path::kBatched) {
+    DPBR_LOG_STREAM(Fatal)
+        << layer << ": cached-state contract violated — BackwardBatch "
+        << "requires the last forward to be ForwardBatch, but "
+        << (path_ == Path::kNone ? "no forward has run" : "it was Forward")
+        << "; the shared caches would be stale";
+  }
+  return shape_;
+}
+
 Tensor Layer::ForwardBatch(const Tensor& /*x*/) {
   DPBR_LOG_STREAM(Fatal) << name() << " does not implement ForwardBatch";
   return Tensor();

@@ -10,11 +10,16 @@
 //     clipping needs, without the per-sample Python-loop shape.
 // Layers cache whatever they need during the forward pass; a layer
 // instance serves exactly one example or one microbatch at a time (each
-// federated worker owns a private model copy).
+// federated worker owns a private model copy). The two paths share one
+// set of cache slots, so every stateful layer records which path wrote
+// them in a BatchState and every backward asserts the matching path —
+// interleaving Forward and ForwardBatch (eval between training steps)
+// can therefore never silently read stale shapes or activations.
 
 #ifndef DPBR_NN_LAYER_H_
 #define DPBR_NN_LAYER_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -24,6 +29,41 @@
 
 namespace dpbr {
 namespace nn {
+
+/// Tag + shape record for a layer's cached forward state.
+///
+/// Layers keep one set of cache slots (workspace buffers, shape fields)
+/// shared between the per-example and the batched path, so a backward
+/// call is only valid against the *last* forward's path: a 3-D Backward
+/// after a 4-D ForwardBatch would otherwise misread `[batch, c, h]` as
+/// `[c, h, w]` and consume stale activations. BatchState makes that
+/// contract checked — each forward records its path and input shape,
+/// each backward asserts the matching path and reads the shape back;
+/// a mismatch DPBR_CHECK-fails loudly instead of corrupting gradients.
+class BatchState {
+ public:
+  /// Records a per-example forward whose cached input shape is `shape`.
+  void SetPerExample(const std::vector<size_t>& shape);
+
+  /// Records a batched forward; `shape`'s leading dimension is the batch.
+  void SetBatched(const std::vector<size_t>& shape);
+
+  /// Returns the cached per-example input shape; fails fatally (naming
+  /// `layer`) unless the last forward was the per-example path.
+  const std::vector<size_t>& RequirePerExample(const char* layer) const;
+
+  /// Returns the cached batched input shape (dim 0 = batch size); fails
+  /// fatally unless the last forward was the batched path.
+  const std::vector<size_t>& RequireBatched(const char* layer) const;
+
+ private:
+  enum class Path : uint8_t { kNone, kPerExample, kBatched };
+
+  Path path_ = Path::kNone;
+  // Assigned (not reallocated, after the first call of equal rank) each
+  // forward; reads hand out a const reference, never a copy.
+  std::vector<size_t> shape_;
+};
 
 /// Mutable view into one parameter tensor and its gradient accumulator.
 struct ParamView {

@@ -29,7 +29,7 @@ Tensor Linear::Forward(const Tensor& x) {
   DPBR_CHECK_EQ(x.size(), in_);
   float* cached = ws_.Get(kInputSlot, in_);
   std::memcpy(cached, x.data(), in_ * sizeof(float));
-  cached_batch_ = 0;
+  state_.SetPerExample(x.shape());
   Tensor y({out_});
   // y = x · Wᵀ as a 1-row GEMM, then the bias.
   GemmNT(1, in_, out_, cached, weight_.data(), y.data());
@@ -39,7 +39,7 @@ Tensor Linear::Forward(const Tensor& x) {
 
 Tensor Linear::Backward(const Tensor& grad_out) {
   DPBR_CHECK_EQ(grad_out.size(), out_);
-  DPBR_CHECK_EQ(cached_batch_, 0u);
+  state_.RequirePerExample("Linear");
   const float* x = ws_.Get(kInputSlot, in_);
   // dW += dy ⊗ x, db += dy, dx = dy · W.
   ops::Ger(1.0f, grad_out.data(), x, weight_grad_.data(), out_, in_);
@@ -56,7 +56,7 @@ Tensor Linear::ForwardBatch(const Tensor& x) {
   DPBR_CHECK_EQ(x.dim(1), in_);
   float* cached = ws_.Get(kInputSlot, batch * in_);
   std::memcpy(cached, x.data(), batch * in_ * sizeof(float));
-  cached_batch_ = batch;
+  state_.SetBatched(x.shape());
   Tensor y({batch, out_});
   // Y = X · Wᵀ, one GEMM for the whole microbatch.
   GemmNT(batch, in_, out_, cached, weight_.data(), y.data());
@@ -69,8 +69,8 @@ Tensor Linear::ForwardBatch(const Tensor& x) {
 
 Tensor Linear::BackwardBatch(const Tensor& grad_out,
                              const PerExampleGradSink& sink) {
-  size_t batch = cached_batch_;
-  DPBR_CHECK_GT(batch, 0u);
+  const std::vector<size_t>& in = state_.RequireBatched("Linear");
+  size_t batch = in[0];
   DPBR_CHECK_EQ(grad_out.ndim(), 2u);
   DPBR_CHECK_EQ(grad_out.dim(0), batch);
   DPBR_CHECK_EQ(grad_out.dim(1), out_);

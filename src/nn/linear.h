@@ -42,8 +42,8 @@ class Linear : public Layer {
   std::vector<float> bias_grad_;
   // Workspace-cached input(s) from the last forward pass.
   Workspace ws_;
-  // Leading dimension of the cached input; 0 → single-example cache.
-  size_t cached_batch_ = 0;
+  // Which path (per-example or batched) last filled the shared cache.
+  BatchState state_;
 };
 
 }  // namespace nn

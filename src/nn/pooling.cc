@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace dpbr {
 namespace nn {
@@ -30,42 +31,48 @@ AdaptiveAvgPool2d::AdaptiveAvgPool2d(size_t out_h, size_t out_w)
   DPBR_CHECK_GT(out_w_, 0u);
 }
 
+void AdaptiveAvgPool2d::PlaneForward(const float* plane, size_t h, size_t w,
+                                     float* out_plane) const {
+  for (size_t i = 0; i < out_h_; ++i) {
+    size_t h0 = RegionStart(i, h, out_h_), h1 = RegionEnd(i, h, out_h_);
+    for (size_t j = 0; j < out_w_; ++j) {
+      size_t w0 = RegionStart(j, w, out_w_), w1 = RegionEnd(j, w, out_w_);
+      double s = 0.0;
+      for (size_t a = h0; a < h1; ++a) {
+        for (size_t b = w0; b < w1; ++b) s += plane[a * w + b];
+      }
+      out_plane[i * out_w_ + j] =
+          static_cast<float>(s / static_cast<double>((h1 - h0) * (w1 - w0)));
+    }
+  }
+}
+
+void AdaptiveAvgPool2d::PlaneBackward(const float* gy_plane, size_t h,
+                                      size_t w, float* dx_plane) const {
+  for (size_t i = 0; i < out_h_; ++i) {
+    size_t h0 = RegionStart(i, h, out_h_), h1 = RegionEnd(i, h, out_h_);
+    for (size_t j = 0; j < out_w_; ++j) {
+      size_t w0 = RegionStart(j, w, out_w_), w1 = RegionEnd(j, w, out_w_);
+      float g = gy_plane[i * out_w_ + j] /
+                static_cast<float>((h1 - h0) * (w1 - w0));
+      for (size_t a = h0; a < h1; ++a) {
+        for (size_t b = w0; b < w1; ++b) dx_plane[a * w + b] += g;
+      }
+    }
+  }
+}
+
 void AdaptiveAvgPool2d::ForwardOne(const float* x, size_t c, size_t h,
                                    size_t w, float* y) {
   for (size_t ch = 0; ch < c; ++ch) {
-    const float* plane = x + ch * h * w;
-    float* out_plane = y + ch * out_h_ * out_w_;
-    for (size_t i = 0; i < out_h_; ++i) {
-      size_t h0 = RegionStart(i, h, out_h_), h1 = RegionEnd(i, h, out_h_);
-      for (size_t j = 0; j < out_w_; ++j) {
-        size_t w0 = RegionStart(j, w, out_w_), w1 = RegionEnd(j, w, out_w_);
-        double s = 0.0;
-        for (size_t a = h0; a < h1; ++a) {
-          for (size_t b = w0; b < w1; ++b) s += plane[a * w + b];
-        }
-        out_plane[i * out_w_ + j] =
-            static_cast<float>(s / static_cast<double>((h1 - h0) * (w1 - w0)));
-      }
-    }
+    PlaneForward(x + ch * h * w, h, w, y + ch * out_h_ * out_w_);
   }
 }
 
 void AdaptiveAvgPool2d::BackwardOne(const float* gy, size_t c, size_t h,
                                     size_t w, float* dx) {
   for (size_t ch = 0; ch < c; ++ch) {
-    const float* gy_plane = gy + ch * out_h_ * out_w_;
-    float* dx_plane = dx + ch * h * w;
-    for (size_t i = 0; i < out_h_; ++i) {
-      size_t h0 = RegionStart(i, h, out_h_), h1 = RegionEnd(i, h, out_h_);
-      for (size_t j = 0; j < out_w_; ++j) {
-        size_t w0 = RegionStart(j, w, out_w_), w1 = RegionEnd(j, w, out_w_);
-        float g = gy_plane[i * out_w_ + j] /
-                  static_cast<float>((h1 - h0) * (w1 - w0));
-        for (size_t a = h0; a < h1; ++a) {
-          for (size_t b = w0; b < w1; ++b) dx_plane[a * w + b] += g;
-        }
-      }
-    }
+    PlaneBackward(gy + ch * out_h_ * out_w_, h, w, dx + ch * h * w);
   }
 }
 
@@ -74,16 +81,16 @@ Tensor AdaptiveAvgPool2d::Forward(const Tensor& x) {
   size_t c = x.dim(0), h = x.dim(1), w = x.dim(2);
   DPBR_CHECK_GE(h, out_h_);
   DPBR_CHECK_GE(w, out_w_);
-  cached_in_shape_ = x.shape();
+  state_.SetPerExample(x.shape());
   Tensor y({c, out_h_, out_w_});
   ForwardOne(x.data(), c, h, w, y.data());
   return y;
 }
 
 Tensor AdaptiveAvgPool2d::Backward(const Tensor& grad_out) {
-  DPBR_CHECK_EQ(cached_in_shape_.size(), 3u);
-  size_t c = cached_in_shape_[0], h = cached_in_shape_[1],
-         w = cached_in_shape_[2];
+  const std::vector<size_t>& in = state_.RequirePerExample("AdaptiveAvgPool2d");
+  size_t c = in[0], h = in[1], w = in[2];
+  DPBR_CHECK_EQ(grad_out.ndim(), 3u);
   DPBR_CHECK_EQ(grad_out.dim(0), c);
   DPBR_CHECK_EQ(grad_out.dim(1), out_h_);
   DPBR_CHECK_EQ(grad_out.dim(2), out_w_);
@@ -98,52 +105,62 @@ Tensor AdaptiveAvgPool2d::ForwardBatch(const Tensor& x) {
   DPBR_CHECK_GT(batch, 0u);
   DPBR_CHECK_GE(h, out_h_);
   DPBR_CHECK_GE(w, out_w_);
-  cached_in_shape_ = x.shape();
+  state_.SetBatched(x.shape());
   Tensor y({batch, c, out_h_, out_w_});
-  size_t in_stride = c * h * w;
-  size_t out_stride = c * out_h_ * out_w_;
-  for (size_t ex = 0; ex < batch; ++ex) {
-    ForwardOne(x.data() + ex * in_stride, c, h, w,
-               y.data() + ex * out_stride);
-  }
+  const float* xd = x.data();
+  float* yd = y.data();
+  // One dispatch over all batch·C planes: the (N, C, H, W) layout makes
+  // plane p's input slice xd + p·H·W and output slice yd + p·oh·ow, all
+  // disjoint, so the plane-level split (shape-only) is race-free, pool-
+  // size invariant and bitwise equal to the per-example channel loop.
+  ParallelForBlocked(batch * c, 1, [&](size_t p0, size_t p1) {
+    for (size_t p = p0; p < p1; ++p) {
+      PlaneForward(xd + p * h * w, h, w, yd + p * out_h_ * out_w_);
+    }
+  });
   return y;
 }
 
 Tensor AdaptiveAvgPool2d::BackwardBatch(const Tensor& grad_out,
                                         const PerExampleGradSink& /*sink*/) {
-  DPBR_CHECK_EQ(cached_in_shape_.size(), 4u);
-  size_t batch = cached_in_shape_[0], c = cached_in_shape_[1],
-         h = cached_in_shape_[2], w = cached_in_shape_[3];
+  const std::vector<size_t>& in = state_.RequireBatched("AdaptiveAvgPool2d");
+  size_t batch = in[0], c = in[1], h = in[2], w = in[3];
   DPBR_CHECK_EQ(grad_out.dim(0), batch);
   DPBR_CHECK_EQ(grad_out.dim(1), c);
   DPBR_CHECK_EQ(grad_out.dim(2), out_h_);
   DPBR_CHECK_EQ(grad_out.dim(3), out_w_);
   Tensor dx({batch, c, h, w});
-  size_t in_stride = c * h * w;
-  size_t out_stride = c * out_h_ * out_w_;
-  for (size_t ex = 0; ex < batch; ++ex) {
-    BackwardOne(grad_out.data() + ex * out_stride, c, h, w,
-                dx.data() + ex * in_stride);
-  }
+  const float* gy = grad_out.data();
+  float* dxd = dx.data();
+  // Same plane-level dispatch as the forward; dx planes are disjoint and
+  // pre-zeroed by the Tensor constructor, so the scatter-add per plane
+  // accumulates in the same fixed order as the serial loop.
+  ParallelForBlocked(batch * c, 1, [&](size_t p0, size_t p1) {
+    for (size_t p = p0; p < p1; ++p) {
+      PlaneBackward(gy + p * out_h_ * out_w_, h, w, dxd + p * h * w);
+    }
+  });
   return dx;
 }
 
 Tensor Flatten::Forward(const Tensor& x) {
-  cached_in_shape_ = x.shape();
+  state_.SetPerExample(x.shape());
   auto r = x.Reshape({x.size()});
   DPBR_CHECK(r.ok());
   return std::move(r).value();
 }
 
 Tensor Flatten::Backward(const Tensor& grad_out) {
-  auto r = grad_out.Reshape(cached_in_shape_);
+  const std::vector<size_t>& in = state_.RequirePerExample("Flatten");
+  DPBR_CHECK_EQ(grad_out.size(), ShapeProduct(in, 0));
+  auto r = grad_out.Reshape(in);
   DPBR_CHECK(r.ok());
   return std::move(r).value();
 }
 
 Tensor Flatten::ForwardBatch(const Tensor& x) {
   DPBR_CHECK_GE(x.ndim(), 2u);
-  cached_in_shape_ = x.shape();
+  state_.SetBatched(x.shape());
   auto r = x.Reshape({x.dim(0), ShapeProduct(x.shape(), 1)});
   DPBR_CHECK(r.ok());
   return std::move(r).value();
@@ -151,7 +168,10 @@ Tensor Flatten::ForwardBatch(const Tensor& x) {
 
 Tensor Flatten::BackwardBatch(const Tensor& grad_out,
                               const PerExampleGradSink& /*sink*/) {
-  auto r = grad_out.Reshape(cached_in_shape_);
+  const std::vector<size_t>& in = state_.RequireBatched("Flatten");
+  DPBR_CHECK_EQ(grad_out.dim(0), in[0]);
+  DPBR_CHECK_EQ(grad_out.size(), ShapeProduct(in, 0));
+  auto r = grad_out.Reshape(in);
   DPBR_CHECK(r.ok());
   return std::move(r).value();
 }

@@ -1,6 +1,8 @@
 // Adaptive average pooling and flattening, with batched variants. Both
-// layers cache only the input *shape* (never activations), so their
-// per-call footprint is a handful of size_t writes.
+// layers cache only the input *shape* (never activations), recorded in a
+// BatchState so the per-example and batched paths can never read each
+// other's cached shape undetected; the batched pool runs all (example,
+// channel) planes inside a single threaded dispatch.
 
 #ifndef DPBR_NN_POOLING_H_
 #define DPBR_NN_POOLING_H_
@@ -28,13 +30,22 @@ class AdaptiveAvgPool2d : public Layer {
   std::string name() const override { return "AdaptiveAvgPool2d"; }
 
  private:
+  /// Pools one (H, W) plane; the `dx` variant scatters the gradient.
+  /// Planes are the unit of batched parallelism: each (example, channel)
+  /// plane is independent, so both the per-example channel loop and the
+  /// batched dispatch run the identical plane kernel.
+  void PlaneForward(const float* plane, size_t h, size_t w,
+                    float* out_plane) const;
+  void PlaneBackward(const float* gy_plane, size_t h, size_t w,
+                     float* dx_plane) const;
+
   /// Pools one (C, H, W) example; `dx` variant scatters the gradient.
   void ForwardOne(const float* x, size_t c, size_t h, size_t w, float* y);
   void BackwardOne(const float* gy, size_t c, size_t h, size_t w, float* dx);
 
   size_t out_h_;
   size_t out_w_;
-  std::vector<size_t> cached_in_shape_;
+  BatchState state_;
 };
 
 /// Flattens each example to 1-d; Backward restores the original shape.
@@ -49,7 +60,7 @@ class Flatten : public Layer {
   std::string name() const override { return "Flatten"; }
 
  private:
-  std::vector<size_t> cached_in_shape_;
+  BatchState state_;
 };
 
 }  // namespace nn

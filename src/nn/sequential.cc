@@ -9,6 +9,10 @@ namespace nn {
 
 Sequential& Sequential::Add(LayerPtr layer) {
   DPBR_CHECK(layer != nullptr);
+  // Parameter counts are fixed at construction, so the offset table can
+  // be maintained incrementally here instead of per backward call.
+  param_offsets_.push_back(total_params_);
+  total_params_ += layer->NumParams();
   layers_.push_back(std::move(layer));
   return *this;
 }
@@ -35,23 +39,20 @@ Tensor Sequential::ForwardBatch(const Tensor& x) {
 
 Tensor Sequential::BackwardBatch(const Tensor& grad_out,
                                  const PerExampleGradSink& sink) {
-  // Flat-parameter offset of each sublayer, in Params() order.
-  std::vector<size_t> offsets(layers_.size());
-  size_t off = 0;
-  for (size_t i = 0; i < layers_.size(); ++i) {
-    offsets[i] = off;
-    off += layers_[i]->NumParams();
-  }
   Tensor g = grad_out;
   for (size_t i = layers_.size(); i-- > 0;) {
-    g = layers_[i]->BackwardBatch(g, sink.Shifted(offsets[i]));
+    g = layers_[i]->BackwardBatch(g, sink.Shifted(param_offsets_[i]));
   }
   return g;
 }
 
 Tensor Sequential::BackwardBatchTo(const Tensor& grad_out, size_t batch,
                                    float* grads) {
-  size_t dim = NumParams();
+  size_t dim = total_params_;
+  // Guards the Add()-time offset cache against any future layer whose
+  // parameter count changes after registration: a stale table would
+  // misalign every downstream sink row silently.
+  DPBR_CHECK_EQ(dim, NumParams());
   std::memset(grads, 0, batch * dim * sizeof(float));
   PerExampleGradSink sink{grads, dim, 0};
   return BackwardBatch(grad_out, sink);

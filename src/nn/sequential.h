@@ -58,6 +58,10 @@ class Sequential : public Layer {
 
  private:
   std::vector<LayerPtr> layers_;
+  // Flat-parameter offset of each sublayer (maintained by Add, so the
+  // per-microbatch BackwardBatch never re-derives or reallocates it).
+  std::vector<size_t> param_offsets_;
+  size_t total_params_ = 0;
 };
 
 /// Residual wrapper: y = x + body(x). Requires body to preserve shape

@@ -2,24 +2,34 @@
 //  * the im2col+GEMM Conv2d agrees with the naive reference kernel to
 //    1e-4 relative tolerance (forward, input grads, parameter grads),
 //  * GEMM results are bit-identical under thread pools of size 1, 2 and
-//    hardware concurrency (the determinism contract from PR 1), and
+//    hardware concurrency (the determinism contract from PR 1),
 //  * the batched microbatch path reproduces the per-example path
 //    bit-for-bit, including the per-example parameter gradients the DP
-//    protocol clips.
+//    protocol clips, and
+//  * the cached-state contract is *checked*: a backward whose path does
+//    not match the last forward (per-example vs batched) dies loudly
+//    instead of consuming stale caches, while legal interleavings
+//    (evaluation between training steps) stay bitwise correct.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <functional>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "nn/activations.h"
 #include "nn/conv2d.h"
 #include "nn/gemm.h"
+#include "nn/group_norm.h"
+#include "nn/linear.h"
 #include "nn/loss.h"
 #include "nn/model_zoo.h"
+#include "nn/pooling.h"
 #include "nn/sequential.h"
 
 namespace dpbr {
@@ -193,32 +203,35 @@ void CheckBatchedMatchesPerExample(std::unique_ptr<Sequential> model,
                                    size_t num_classes, uint64_t seed) {
   SplitRng rng(seed);
   model->InitParams(&rng);
-  constexpr size_t kBatch = 5;
-  std::vector<size_t> batch_shape;
-  batch_shape.push_back(kBatch);
-  for (size_t d : example_shape) batch_shape.push_back(d);
-  Tensor batch = RandomTensor(batch_shape, seed + 1);
-  std::vector<size_t> labels(kBatch);
-  for (size_t ex = 0; ex < kBatch; ++ex) labels[ex] = ex % num_classes;
+  // N=1 exercises the degenerate microbatch, 3 and 7 leave ragged
+  // parallel blocks in the batched dispatches.
+  for (size_t batch_n : {size_t{1}, size_t{3}, size_t{7}}) {
+    std::vector<size_t> batch_shape;
+    batch_shape.push_back(batch_n);
+    for (size_t d : example_shape) batch_shape.push_back(d);
+    Tensor batch = RandomTensor(batch_shape, seed + 1 + batch_n);
+    std::vector<size_t> labels(batch_n);
+    for (size_t ex = 0; ex < batch_n; ++ex) labels[ex] = ex % num_classes;
 
-  Tensor logits = model->ForwardBatch(batch);
-  ASSERT_EQ(logits.dim(0), kBatch);
-  BatchLossGrad lg = SoftmaxCrossEntropyBatch(logits, labels);
-  size_t dim = model->NumParams();
-  std::vector<float> grads(kBatch * dim);
-  model->BackwardBatchTo(lg.grad_logits, kBatch, grads.data());
+    Tensor logits = model->ForwardBatch(batch);
+    ASSERT_EQ(logits.dim(0), batch_n);
+    BatchLossGrad lg = SoftmaxCrossEntropyBatch(logits, labels);
+    size_t dim = model->NumParams();
+    std::vector<float> grads(batch_n * dim);
+    model->BackwardBatchTo(lg.grad_logits, batch_n, grads.data());
 
-  PerExampleRun ref =
-      RunPerExample(model.get(), batch, labels, example_shape);
-  size_t classes = logits.dim(1);
-  for (size_t ex = 0; ex < kBatch; ++ex) {
-    for (size_t c = 0; c < classes; ++c) {
-      ASSERT_EQ(logits[ex * classes + c], ref.logits[ex][c])
-          << "example " << ex << " class " << c;
-    }
-    for (size_t i = 0; i < dim; ++i) {
-      ASSERT_EQ(grads[ex * dim + i], ref.grads[ex][i])
-          << "example " << ex << " param " << i;
+    PerExampleRun ref =
+        RunPerExample(model.get(), batch, labels, example_shape);
+    size_t classes = logits.dim(1);
+    for (size_t ex = 0; ex < batch_n; ++ex) {
+      for (size_t c = 0; c < classes; ++c) {
+        ASSERT_EQ(logits[ex * classes + c], ref.logits[ex][c])
+            << "batch " << batch_n << " example " << ex << " class " << c;
+      }
+      for (size_t i = 0; i < dim; ++i) {
+        ASSERT_EQ(grads[ex * dim + i], ref.grads[ex][i])
+            << "batch " << batch_n << " example " << ex << " param " << i;
+      }
     }
   }
 }
@@ -309,6 +322,306 @@ TEST(KernelEquivalenceTest, WorkspaceReusesAndGrowsBuffers) {
   b[0] = 9.0f;
   EXPECT_EQ(ws.Get(0, 64)[0], 7.0f);
   EXPECT_EQ(ws.Get(1, 64)[0], 9.0f);
+  // Double slots live in their own index space and are grow-only: no
+  // clearing on reuse (GroupNorm's 1/std slot relies on that).
+  double* d = ws.GetDouble(0, 8);
+  ASSERT_NE(d, nullptr);
+  d[0] = 3.5;
+  EXPECT_EQ(ws.GetDouble(0, 8), d);
+  EXPECT_EQ(ws.GetDouble(0, 4)[0], 3.5);
+  EXPECT_EQ(ws.Get(0, 64)[0], 7.0f);  // float slot 0 untouched
+}
+
+// --- Batched GroupNorm / pooling / activation kernels: each layer runs
+// its microbatch as one threaded dispatch, and must stay bitwise equal
+// to the per-example reference path at N = 1, 3, 7.
+
+TEST(KernelEquivalenceTest, GroupNormBatchedMatchesPerExampleBitwise) {
+  constexpr size_t kC = 6, kH = 5, kW = 4;
+  for (size_t batch : {size_t{1}, size_t{3}, size_t{7}}) {
+    // affine=true so the per-example sink rows are exercised too.
+    GroupNorm gn(2, kC, 1e-5, /*affine=*/true);
+    SplitRng rng(101);
+    gn.InitParams(&rng);
+    Tensor xb = RandomTensor({batch, kC, kH, kW}, 103 + batch);
+    Tensor gyb = RandomTensor({batch, kC, kH, kW}, 107 + batch);
+    Tensor yb = gn.ForwardBatch(xb);
+    size_t dim = gn.NumParams();
+    std::vector<float> sink(batch * dim, 0.0f);
+    Tensor dxb = gn.BackwardBatch(gyb, {sink.data(), dim, 0});
+    size_t stride = kC * kH * kW;
+    for (size_t ex = 0; ex < batch; ++ex) {
+      Tensor x({kC, kH, kW},
+               std::vector<float>(xb.data() + ex * stride,
+                                  xb.data() + (ex + 1) * stride));
+      Tensor gy({kC, kH, kW},
+                std::vector<float>(gyb.data() + ex * stride,
+                                   gyb.data() + (ex + 1) * stride));
+      gn.ZeroGrad();
+      Tensor y = gn.Forward(x);
+      Tensor dx = gn.Backward(gy);
+      std::vector<float> ex_grads;
+      for (const ParamView& v : gn.Params()) {
+        ex_grads.insert(ex_grads.end(), v.grad, v.grad + v.size);
+      }
+      for (size_t i = 0; i < stride; ++i) {
+        ASSERT_EQ(yb[ex * stride + i], y[i]) << "ex " << ex << " y[" << i
+                                             << "]";
+        ASSERT_EQ(dxb[ex * stride + i], dx[i])
+            << "ex " << ex << " dx[" << i << "]";
+      }
+      for (size_t i = 0; i < dim; ++i) {
+        ASSERT_EQ(sink[ex * dim + i], ex_grads[i])
+            << "ex " << ex << " param " << i;
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, PoolBatchedMatchesPerExampleBitwise) {
+  constexpr size_t kC = 5, kH = 9, kW = 7;
+  for (size_t batch : {size_t{1}, size_t{3}, size_t{7}}) {
+    AdaptiveAvgPool2d pool(4, 4);
+    Tensor xb = RandomTensor({batch, kC, kH, kW}, 109 + batch);
+    Tensor gyb = RandomTensor({batch, kC, 4, 4}, 113 + batch);
+    Tensor yb = pool.ForwardBatch(xb);
+    Tensor dxb = pool.BackwardBatch(gyb, {});
+    size_t in_stride = kC * kH * kW;
+    size_t out_stride = kC * 4 * 4;
+    for (size_t ex = 0; ex < batch; ++ex) {
+      Tensor x({kC, kH, kW},
+               std::vector<float>(xb.data() + ex * in_stride,
+                                  xb.data() + (ex + 1) * in_stride));
+      Tensor gy({kC, 4, 4},
+                std::vector<float>(gyb.data() + ex * out_stride,
+                                   gyb.data() + (ex + 1) * out_stride));
+      Tensor y = pool.Forward(x);
+      Tensor dx = pool.Backward(gy);
+      for (size_t i = 0; i < out_stride; ++i) {
+        ASSERT_EQ(yb[ex * out_stride + i], y[i]) << "ex " << ex;
+      }
+      for (size_t i = 0; i < in_stride; ++i) {
+        ASSERT_EQ(dxb[ex * in_stride + i], dx[i]) << "ex " << ex;
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, ActivationBatchedMatchesPerExampleBitwise) {
+  constexpr size_t kFeat = 300;  // not a multiple of the dispatch block
+  for (size_t batch : {size_t{1}, size_t{3}, size_t{7}}) {
+    Elu elu;
+    Relu relu;
+    Tensor xb = RandomTensor({batch, kFeat}, 127 + batch);
+    Tensor gyb = RandomTensor({batch, kFeat}, 131 + batch);
+    Tensor ye = elu.ForwardBatch(xb);
+    Tensor dxe = elu.BackwardBatch(gyb, {});
+    Tensor yr = relu.ForwardBatch(xb);
+    Tensor dxr = relu.BackwardBatch(gyb, {});
+    for (size_t ex = 0; ex < batch; ++ex) {
+      Tensor x({kFeat}, std::vector<float>(xb.data() + ex * kFeat,
+                                           xb.data() + (ex + 1) * kFeat));
+      Tensor gy({kFeat}, std::vector<float>(gyb.data() + ex * kFeat,
+                                            gyb.data() + (ex + 1) * kFeat));
+      Tensor y1 = elu.Forward(x);
+      Tensor d1 = elu.Backward(gy);
+      Tensor y2 = relu.Forward(x);
+      Tensor d2 = relu.Backward(gy);
+      for (size_t i = 0; i < kFeat; ++i) {
+        ASSERT_EQ(ye[ex * kFeat + i], y1[i]) << "elu ex " << ex;
+        ASSERT_EQ(dxe[ex * kFeat + i], d1[i]) << "elu ex " << ex;
+        ASSERT_EQ(yr[ex * kFeat + i], y2[i]) << "relu ex " << ex;
+        ASSERT_EQ(dxr[ex * kFeat + i], d2[i]) << "relu ex " << ex;
+      }
+    }
+  }
+}
+
+// The whole batched model path (conv, GroupNorm, pooling, activations,
+// linear — every new dispatch) must be bit-identical under pool sizes
+// 1, 2 and hardware concurrency.
+
+struct BatchedModelRun {
+  Tensor logits;
+  std::vector<float> grads;
+};
+
+BatchedModelRun RunBatchedModelUnderPool(size_t pool_size) {
+  ThreadPool pool(pool_size);
+  ScopedPoolOverride override_pool(&pool);
+  std::unique_ptr<Sequential> model = MakeCnn(1, 8, 3, 4);
+  SplitRng rng(137);
+  model->InitParams(&rng);
+  constexpr size_t kN = 7;
+  Tensor batch = RandomTensor({kN, 1, 8, 8}, 139);
+  std::vector<size_t> labels(kN);
+  for (size_t ex = 0; ex < kN; ++ex) labels[ex] = ex % 4;
+  BatchedModelRun r;
+  r.logits = model->ForwardBatch(batch);
+  BatchLossGrad lg = SoftmaxCrossEntropyBatch(r.logits, labels);
+  r.grads.resize(kN * model->NumParams());
+  model->BackwardBatchTo(lg.grad_logits, kN, r.grads.data());
+  return r;
+}
+
+TEST(KernelEquivalenceTest, BatchedModelPathPoolInvariant) {
+  size_t hw = std::max<size_t>(2, std::thread::hardware_concurrency());
+  BatchedModelRun r1 = RunBatchedModelUnderPool(1);
+  for (size_t threads : {size_t{2}, hw}) {
+    BatchedModelRun rn = RunBatchedModelUnderPool(threads);
+    ASSERT_EQ(r1.logits.shape(), rn.logits.shape());
+    for (size_t i = 0; i < r1.logits.size(); ++i) {
+      ASSERT_EQ(r1.logits[i], rn.logits[i]) << "pool " << threads;
+    }
+    ASSERT_EQ(r1.grads, rn.grads) << "pool " << threads;
+  }
+}
+
+// --- Cached-state contract: legal interleavings stay bitwise correct...
+
+// Simulates Server::EvaluateAccuracy between two worker training steps
+// on one model instance: batched step, per-example pass, batched step.
+// Every result must equal a never-interleaved run of the same pass.
+TEST(KernelEquivalenceTest, InterleavedPerExampleAndBatchedStayBitwise) {
+  auto make_model = [] {
+    std::unique_ptr<Sequential> model = MakeCnn(1, 8, 3, 4);
+    SplitRng rng(149);
+    model->InitParams(&rng);
+    return model;
+  };
+  constexpr size_t kN = 3;
+  Tensor batch = RandomTensor({kN, 1, 8, 8}, 151);
+  std::vector<size_t> labels = {0, 1, 2};
+  Tensor x0({1, 8, 8}, std::vector<float>(batch.data(), batch.data() + 64));
+
+  auto batched_pass = [&](Sequential* model) {
+    BatchedModelRun r;
+    r.logits = model->ForwardBatch(batch);
+    BatchLossGrad lg = SoftmaxCrossEntropyBatch(r.logits, labels);
+    r.grads.resize(kN * model->NumParams());
+    model->BackwardBatchTo(lg.grad_logits, kN, r.grads.data());
+    return r;
+  };
+  auto per_example_pass = [&](Sequential* model) {
+    model->ZeroGrad();
+    Tensor logits = model->Forward(x0);
+    LossGrad lg = SoftmaxCrossEntropy(logits, labels[0]);
+    model->Backward(lg.grad_logits);
+    std::vector<float> grads = model->FlatGrads();
+    std::vector<float> out(logits.data(), logits.data() + logits.size());
+    out.insert(out.end(), grads.begin(), grads.end());
+    return out;
+  };
+
+  // Reference runs, one model per pass (no interleaving anywhere).
+  std::unique_ptr<Sequential> ref_batched = make_model();
+  BatchedModelRun want_batched = batched_pass(ref_batched.get());
+  std::unique_ptr<Sequential> ref_per_ex = make_model();
+  std::vector<float> want_per_ex = per_example_pass(ref_per_ex.get());
+
+  // Interleaved: batched → per-example → batched → per-example, all on
+  // one instance whose layers share cache slots between the paths.
+  std::unique_ptr<Sequential> model = make_model();
+  BatchedModelRun b1 = batched_pass(model.get());
+  std::vector<float> p1 = per_example_pass(model.get());
+  BatchedModelRun b2 = batched_pass(model.get());
+  std::vector<float> p2 = per_example_pass(model.get());
+
+  for (size_t i = 0; i < want_batched.logits.size(); ++i) {
+    ASSERT_EQ(b1.logits[i], want_batched.logits[i]) << "b1 logits " << i;
+    ASSERT_EQ(b2.logits[i], want_batched.logits[i]) << "b2 logits " << i;
+  }
+  ASSERT_EQ(b1.grads, want_batched.grads);
+  ASSERT_EQ(b2.grads, want_batched.grads);
+  ASSERT_EQ(p1, want_per_ex);
+  ASSERT_EQ(p2, want_per_ex);
+}
+
+// ... and path-mismatched backwards die loudly instead of reading the
+// other path's caches. One case per layer type the model zoo uses.
+
+struct ContractCase {
+  const char* name;
+  std::function<LayerPtr()> make;
+  std::vector<size_t> ex_in;   // per-example input shape
+  std::vector<size_t> ex_out;  // per-example output shape
+};
+
+std::vector<ContractCase> ContractCases() {
+  return {
+      {"Conv2d",
+       [] { return std::make_unique<Conv2d>(2, 3, 3, 1); },
+       {2, 5, 5},
+       {3, 5, 5}},
+      {"Linear",
+       [] { return std::make_unique<Linear>(12, 5); },
+       {12},
+       {5}},
+      {"GroupNorm",
+       [] { return std::make_unique<GroupNorm>(2, 4); },
+       {4, 5, 5},
+       {4, 5, 5}},
+      {"AdaptiveAvgPool2d",
+       [] { return std::make_unique<AdaptiveAvgPool2d>(2, 2); },
+       {3, 6, 6},
+       {3, 2, 2}},
+      {"Flatten",
+       [] { return std::make_unique<Flatten>(); },
+       {3, 4, 4},
+       {48}},
+      {"Elu", [] { return std::make_unique<Elu>(); }, {2, 6, 6}, {2, 6, 6}},
+      {"Relu", [] { return std::make_unique<Relu>(); }, {2, 6, 6}, {2, 6, 6}},
+  };
+}
+
+std::vector<size_t> WithBatch(size_t n, const std::vector<size_t>& shape) {
+  std::vector<size_t> s;
+  s.push_back(n);
+  for (size_t d : shape) s.push_back(d);
+  return s;
+}
+
+TEST(KernelEquivalenceDeathTest, BackwardAfterForwardBatchDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  constexpr size_t kN = 3;
+  for (const ContractCase& c : ContractCases()) {
+    SCOPED_TRACE(c.name);
+    LayerPtr layer = c.make();
+    SplitRng rng(157);
+    layer->InitParams(&rng);
+    Tensor xb = RandomTensor(WithBatch(kN, c.ex_in), 163);
+    layer->ForwardBatch(xb);
+    // The batched caches are live; the per-example Backward must refuse
+    // rather than misread the 4-D batch shape as a 3-D example shape.
+    Tensor gy = RandomTensor(c.ex_out, 167);
+    EXPECT_DEATH(layer->Backward(gy), "cached-state contract violated");
+  }
+}
+
+TEST(KernelEquivalenceDeathTest, BackwardBatchAfterForwardDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  constexpr size_t kN = 3;
+  for (const ContractCase& c : ContractCases()) {
+    SCOPED_TRACE(c.name);
+    LayerPtr layer = c.make();
+    SplitRng rng(173);
+    layer->InitParams(&rng);
+    Tensor x = RandomTensor(c.ex_in, 179);
+    layer->Forward(x);
+    Tensor gyb = RandomTensor(WithBatch(kN, c.ex_out), 181);
+    std::vector<float> sink(kN * std::max<size_t>(1, layer->NumParams()),
+                            0.0f);
+    EXPECT_DEATH(
+        layer->BackwardBatch(gyb, {sink.data(), layer->NumParams(), 0}),
+        "cached-state contract violated");
+  }
+}
+
+TEST(KernelEquivalenceDeathTest, BackwardWithoutForwardDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  GroupNorm gn(2, 4);
+  Tensor gy = RandomTensor({4, 5, 5}, 191);
+  EXPECT_DEATH(gn.Backward(gy), "no forward has run");
 }
 
 }  // namespace
