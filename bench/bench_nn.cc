@@ -14,6 +14,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -25,8 +26,10 @@
 #include "nn/gemm.h"
 #include "nn/group_norm.h"
 #include "nn/linear.h"
+#include "nn/loss.h"
 #include "nn/model_zoo.h"
 #include "nn/pooling.h"
+#include "nn/sequential.h"
 
 namespace {
 
@@ -139,6 +142,112 @@ void BM_Conv2dForwardBatchPerExample(benchmark::State& state) {
                           kImg);
 }
 BENCHMARK(BM_Conv2dForwardBatchPerExample)->Unit(benchmark::kMicrosecond);
+
+// --- Batched conv backward: the fused single-dispatch path (per-example
+// dW/db rows into the sink + dX via col2im) against the same work run
+// example by example. The cached-state contract ties every per-example
+// Backward to its own Forward, so both sides time a full
+// forward+backward round trip — the forward work is identical, so the
+// ratio isolates the backward dispatch shape.
+
+void BM_Conv2dBackwardBatch(benchmark::State& state) {
+  nn::Conv2d conv = MakeConv(nn::Conv2dKernel::kGemm);
+  Tensor x = RandomBatch(13);
+  SplitRng rng(29);
+  Tensor gy({kBatch, kOutCh, kImg, kImg});
+  gy.FillGaussian(&rng, 1.0);
+  size_t dim = conv.NumParams();
+  std::vector<float> sink(kBatch * dim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.ForwardBatch(x));
+    std::fill(sink.begin(), sink.end(), 0.0f);
+    benchmark::DoNotOptimize(conv.BackwardBatch(gy, {sink.data(), dim, 0}));
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch * kOutCh * kImg *
+                          kImg);
+}
+BENCHMARK(BM_Conv2dBackwardBatch)->Unit(benchmark::kMicrosecond);
+
+void BM_Conv2dBackwardBatchPerExample(benchmark::State& state) {
+  nn::Conv2d conv = MakeConv(nn::Conv2dKernel::kGemm);
+  Tensor x = RandomBatch(13);
+  SplitRng rng(29);
+  Tensor gyb({kBatch, kOutCh, kImg, kImg});
+  gyb.FillGaussian(&rng, 1.0);
+  size_t feat = kInCh * kImg * kImg;
+  size_t out_stride = kOutCh * kImg * kImg;
+  std::vector<Tensor> examples, grads;
+  for (size_t ex = 0; ex < kBatch; ++ex) {
+    examples.emplace_back(
+        std::vector<size_t>{kInCh, kImg, kImg},
+        std::vector<float>(x.data() + ex * feat, x.data() + (ex + 1) * feat));
+    grads.emplace_back(
+        std::vector<size_t>{kOutCh, kImg, kImg},
+        std::vector<float>(gyb.data() + ex * out_stride,
+                           gyb.data() + (ex + 1) * out_stride));
+  }
+  for (auto _ : state) {
+    for (size_t ex = 0; ex < kBatch; ++ex) {
+      benchmark::DoNotOptimize(conv.Forward(examples[ex]));
+      conv.ZeroGrad();
+      benchmark::DoNotOptimize(conv.Backward(grads[ex]));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch * kOutCh * kImg *
+                          kImg);
+}
+BENCHMARK(BM_Conv2dBackwardBatchPerExample)->Unit(benchmark::kMicrosecond);
+
+// Batched Linear backward (one dispatch: dW/db sink rows + dX rows) at
+// the e2e model shape, against the per-example reference.
+void BM_LinearBackwardBatch(benchmark::State& state) {
+  nn::Linear linear(512, 32);
+  SplitRng rng(11);
+  linear.InitParams(&rng);
+  Tensor x({16, 512});
+  x.FillGaussian(&rng, 1.0);
+  Tensor gy({16, 32});
+  gy.FillGaussian(&rng, 1.0);
+  size_t dim = linear.NumParams();
+  std::vector<float> sink(16 * dim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linear.ForwardBatch(x));
+    std::fill(sink.begin(), sink.end(), 0.0f);
+    benchmark::DoNotOptimize(
+        linear.BackwardBatch(gy, {sink.data(), dim, 0}));
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * 512 * 32);
+}
+BENCHMARK(BM_LinearBackwardBatch)->Unit(benchmark::kMicrosecond);
+
+void BM_LinearBackwardBatchPerExample(benchmark::State& state) {
+  nn::Linear linear(512, 32);
+  SplitRng rng(11);
+  linear.InitParams(&rng);
+  Tensor xb({16, 512});
+  xb.FillGaussian(&rng, 1.0);
+  Tensor gyb({16, 32});
+  gyb.FillGaussian(&rng, 1.0);
+  std::vector<Tensor> examples, grads;
+  for (size_t ex = 0; ex < 16; ++ex) {
+    examples.emplace_back(
+        std::vector<size_t>{512},
+        std::vector<float>(xb.data() + ex * 512,
+                           xb.data() + (ex + 1) * 512));
+    grads.emplace_back(std::vector<size_t>{32},
+                       std::vector<float>(gyb.data() + ex * 32,
+                                          gyb.data() + (ex + 1) * 32));
+  }
+  for (auto _ : state) {
+    for (size_t ex = 0; ex < 16; ++ex) {
+      benchmark::DoNotOptimize(linear.Forward(examples[ex]));
+      linear.ZeroGrad();
+      benchmark::DoNotOptimize(linear.Backward(grads[ex]));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * 512 * 32);
+}
+BENCHMARK(BM_LinearBackwardBatchPerExample)->Unit(benchmark::kMicrosecond);
 
 // --- Batched GroupNorm / pooling: one threaded dispatch per microbatch
 // (previously a serial per-example loop inside ForwardBatch). Shape is
@@ -279,6 +388,34 @@ void BM_LocalStepCnn(benchmark::State& state) {
 }
 BENCHMARK(BM_LocalStepCnn)->Unit(benchmark::kMillisecond);
 
+// The backward-dominated unit of the worker step in isolation: batched
+// forward + loss + per-example-gradient backward through the whole CNN,
+// one dispatch per layer in each direction. This is the surface the
+// batched backward GEMMs accelerate (BM_LocalStepCnn adds clipping,
+// momentum and noise on top).
+void BM_LocalStepCnnBackward(benchmark::State& state) {
+  std::unique_ptr<nn::Sequential> model =
+      nn::CnnFactory(1, kOutCh, kKernel, 10)();
+  SplitRng rng(31);
+  model->InitParams(&rng);
+  constexpr size_t kN = 16;
+  Tensor batch({kN, 1, kImg, kImg});
+  batch.FillGaussian(&rng, 1.0);
+  std::vector<size_t> labels(kN);
+  for (size_t ex = 0; ex < kN; ++ex) labels[ex] = ex % 10;
+  size_t dim = model->NumParams();
+  std::vector<float> grads(kN * dim);
+  for (auto _ : state) {
+    Tensor logits = model->ForwardBatch(batch);
+    nn::BatchLossGrad lg = nn::SoftmaxCrossEntropyBatch(logits, labels);
+    benchmark::DoNotOptimize(
+        model->BackwardBatchTo(lg.grad_logits, kN, grads.data()));
+  }
+  state.counters["d"] = static_cast<double>(dim);
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_LocalStepCnnBackward)->Unit(benchmark::kMillisecond);
+
 // GEMM conv must agree with itself bit-for-bit across pool sizes, and
 // with the naive kernel to 1e-4 — checked before the timing loops so a
 // regression fails the bench smoke job loudly.
@@ -331,9 +468,51 @@ void CheckConvDeterminism() {
       }
     }
   }
+  // The fused batch backward (one dispatch: sink dW/db rows + col2im dX)
+  // must likewise reproduce the per-example backward bit for bit.
+  SplitRng grng(37);
+  Tensor gyb({kBatch, kOutCh, kImg, kImg});
+  gyb.FillGaussian(&grng, 1.0);
+  size_t dim = conv.NumParams();
+  std::vector<float> sink(kBatch * dim, 0.0f);
+  conv.ForwardBatch(xb);  // re-arm the batched caches after the loop above
+  Tensor dxb = conv.BackwardBatch(gyb, {sink.data(), dim, 0});
+  for (size_t ex = 0; ex < kBatch; ++ex) {
+    Tensor one({kInCh, kImg, kImg},
+               std::vector<float>(xb.data() + ex * feat,
+                                  xb.data() + (ex + 1) * feat));
+    Tensor gy({kOutCh, kImg, kImg},
+              std::vector<float>(gyb.data() + ex * out_stride,
+                                 gyb.data() + (ex + 1) * out_stride));
+    conv.Forward(one);
+    conv.ZeroGrad();
+    Tensor dx = conv.Backward(gy);
+    std::vector<float> ex_grads;
+    for (const nn::ParamView& v : conv.Params()) {
+      ex_grads.insert(ex_grads.end(), v.grad, v.grad + v.size);
+    }
+    for (size_t j = 0; j < dx.size(); ++j) {
+      if (dxb[ex * feat + j] != dx[j]) {
+        std::fprintf(
+            stderr,
+            "FATAL: fused batch-conv backward dX differs from "
+            "per-example\n");
+        std::exit(1);
+      }
+    }
+    for (size_t j = 0; j < dim; ++j) {
+      if (sink[ex * dim + j] != ex_grads[j]) {
+        std::fprintf(stderr,
+                     "FATAL: fused batch-conv backward sink row differs "
+                     "from per-example gradients\n");
+        std::exit(1);
+      }
+    }
+  }
   std::fprintf(stderr,
                "conv determinism check: pools {1,2,%zu} bit-identical, "
-               "naive agreement within 1e-4, fused batch == per-example\n",
+               "naive agreement within 1e-4, fused batch fwd+bwd == "
+               "per-example\n",
                hw);
 }
 

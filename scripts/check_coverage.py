@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Gate the coverage job against a committed line-rate floor.
+
+Usage:
+  scripts/check_coverage.py --baseline COVERAGE_baseline.json \
+      coverage/summary.json
+
+Reads a gcovr `--json-summary` report and fails (exit 1) when the src/
+line rate drops below the floor committed in COVERAGE_baseline.json —
+the ratchet that turns the coverage job from advisory into a gate.
+
+`--update` rewrites the baseline from the given summary instead of
+gating, auto-suggesting a floor of (measured - margin) — the same UX as
+check_bench_regression.py's `--update`. Run it against the summary
+artifact of a representative CI run after intentionally adding or
+removing tested code, and commit the result.
+
+The floor is in line-percent points (0-100). The margin (default 2.0
+points) absorbs run-to-run wobble: the quick test tier is deterministic,
+but toolchain updates shift which lines gcov considers instrumentable.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_line_percent(path):
+    """Line rate in percent from a gcovr --json-summary report."""
+    with open(path) as f:
+        data = json.load(f)
+    if "line_percent" in data:
+        return float(data["line_percent"])
+    # Older gcovr summary schemas: derive from the counts.
+    covered = data.get("line_covered")
+    total = data.get("line_total")
+    if covered is None or total is None or total == 0:
+        raise SystemExit(f"{path}: no line coverage fields found")
+    return 100.0 * covered / total
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed floor file (COVERAGE_baseline.json)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the summary "
+                             "instead of gating")
+    parser.add_argument("--margin", type=float, default=2.0,
+                        help="points below the measured rate the suggested "
+                             "floor sits at (with --update)")
+    parser.add_argument("--note", default="refreshed coverage floor",
+                        help="note stored when updating the baseline")
+    parser.add_argument("summary",
+                        help="gcovr --json-summary output for src/")
+    args = parser.parse_args()
+
+    percent = load_line_percent(args.summary)
+
+    if args.update:
+        floor = round(percent - args.margin, 1)
+        out = {
+            "note": args.note,
+            "line_rate_floor": floor,
+            "measured_line_percent": round(percent, 2),
+        }
+        with open(args.baseline, "w") as f:
+            json.dump(out, f, indent=1)
+            f.write("\n")
+        print(f"wrote {args.baseline}: floor {floor:.1f}% "
+              f"(measured {percent:.2f}%, margin {args.margin:.1f})")
+        return 0
+
+    with open(args.baseline) as f:
+        floor = float(json.load(f)["line_rate_floor"])
+    ok = percent >= floor
+    print(f"src/ line coverage: {percent:.2f}% "
+          f"(floor {floor:.1f}%) {'ok' if ok else '<-- BELOW FLOOR'}")
+    if not ok:
+        print("\nCOVERAGE GATE FAILED: the change drops tested-line "
+              "coverage below the committed floor.\nEither add tests for "
+              "the new code, or — when the drop is intentional — refresh "
+              "the floor:\n  python3 scripts/check_coverage.py --baseline "
+              "COVERAGE_baseline.json --update coverage/summary.json")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

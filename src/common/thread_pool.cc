@@ -14,6 +14,9 @@ thread_local bool t_in_pool_worker = false;
 // ScopedPoolOverride target; read by ThreadPool::Ambient().
 ThreadPool* g_pool_override = nullptr;
 
+// Fanned-out ParallelFor invocations; see ParallelDispatchCount().
+std::atomic<uint64_t> g_dispatch_count{0};
+
 }  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -97,6 +100,7 @@ void ParallelFor(ThreadPool& pool, size_t begin, size_t end,
     for (size_t i = begin; i < end; ++i) body(i);
     return;
   }
+  g_dispatch_count.fetch_add(1, std::memory_order_relaxed);
   // Static chunking: one contiguous block per thread keeps task overhead
   // negligible relative to per-worker NN compute.
   size_t num_chunks = std::min(n, pool.num_threads());
@@ -124,6 +128,10 @@ void ParallelFor(ThreadPool& pool, size_t begin, size_t end,
 void ParallelFor(size_t begin, size_t end,
                  const std::function<void(size_t)>& body) {
   ParallelFor(ThreadPool::Ambient(), begin, end, body);
+}
+
+uint64_t ParallelDispatchCount() {
+  return g_dispatch_count.load(std::memory_order_relaxed);
 }
 
 void ParallelForBlocked(size_t total, size_t block_size,

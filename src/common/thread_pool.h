@@ -10,6 +10,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -92,6 +93,14 @@ class ScopedPoolOverride {
 /// count.
 void ParallelForBlocked(size_t total, size_t block_size,
                         const std::function<void(size_t, size_t)>& body);
+
+/// Number of ParallelFor invocations so far that actually fanned out to
+/// pool workers (inline runs — single-iteration ranges, one-thread
+/// pools, nested calls from inside a worker — do not count). Pure
+/// observability: tests diff this counter around a kernel call to prove
+/// single-dispatch contracts such as "one batched dispatch per layer
+/// backward". Monotonic, process-wide, atomic (safe under TSan).
+uint64_t ParallelDispatchCount();
 
 }  // namespace dpbr
 

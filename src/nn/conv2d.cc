@@ -10,12 +10,26 @@ namespace nn {
 namespace {
 
 // Workspace slots (per layer instance). All hold single-example buffers:
-// the fused batch forward streams its per-example im2col panels through
-// GemmBatchedNN's per-thread scratch instead, so nothing here scales
-// with the batch size.
+// the fused batch forward and backward stream their per-example
+// im2col/col2im panels through the batched kernels' per-thread scratch
+// instead, so nothing here scales with the batch size (kColSlot/
+// kDcolSlot serve only the per-example path).
 constexpr size_t kColSlot = 0;    // im2col matrix, K × OH·OW
 constexpr size_t kInputSlot = 1;  // cached forward input(s)
 constexpr size_t kDcolSlot = 2;   // column-space gradient, K × OH·OW
+
+// db[oc] += Σ_i gy[oc·q + i], accumulated in double. Shared by the
+// per-example backward and the fused batched epilogue so the bitwise
+// contract between the two paths is pinned in one place.
+void AccumulateBiasRowSums(const float* gy, size_t out_ch, size_t q,
+                           float* bgrad) {
+  for (size_t oc = 0; oc < out_ch; ++oc) {
+    const float* row = gy + oc * q;
+    double s = 0.0;
+    for (size_t i = 0; i < q; ++i) s += row[i];
+    bgrad[oc] += static_cast<float>(s);
+  }
+}
 
 }  // namespace
 
@@ -64,12 +78,7 @@ void Conv2d::BackwardOne(const float* x, const float* gy, size_t h, size_t w,
   Im2Col(x, in_ch_, h, w, k_, pad_, col);
   GemmNT(out_ch_, q, kk, gy, col, wgrad, /*accumulate=*/true);
   // db += row sums of dY.
-  for (size_t oc = 0; oc < out_ch_; ++oc) {
-    const float* row = gy + oc * q;
-    double s = 0.0;
-    for (size_t i = 0; i < q; ++i) s += row[i];
-    bgrad[oc] += static_cast<float>(s);
-  }
+  AccumulateBiasRowSums(gy, out_ch_, q, bgrad);
   // dX = col2im(Wᵀ · dY).
   float* dcol = ws_.Get(kDcolSlot, kk * q);
   GemmTN(kk, out_ch_, q, weight_.data(), gy, dcol);
@@ -225,12 +234,51 @@ Tensor Conv2d::BackwardBatch(const Tensor& grad_out,
   Tensor dx({batch, in_ch_, h, w});
   size_t in_stride = in_ch_ * h * w;
   size_t out_stride = out_ch_ * oh * ow;
-  for (size_t ex = 0; ex < batch; ++ex) {
-    float* wgrad = sink.Slot(ex);
-    float* bgrad = wgrad + weight_.size();
-    BackwardOne(x + ex * in_stride, grad_out.data() + ex * out_stride, h, w,
-                wgrad, bgrad, dx.data() + ex * in_stride);
+  if (kernel_ == Conv2dKernel::kNaive) {
+    for (size_t ex = 0; ex < batch; ++ex) {
+      float* wgrad = sink.Slot(ex);
+      float* bgrad = wgrad + weight_.size();
+      BackwardOne(x + ex * in_stride, grad_out.data() + ex * out_stride, h,
+                  w, wgrad, bgrad, dx.data() + ex * in_stride);
+    }
+    return dx;
   }
+  // Fused path: the whole backward — per-example dW/db rows into the
+  // sink, dX through col2im — is one batched dispatch split over
+  // examples. Each example's task re-expands its im2col panel into
+  // per-thread scratch (one K×Q buffer per thread, not per example) and
+  // runs the two panel products dW = dY·Colᵀ and dCol = Wᵀ·dY in the
+  // per-example kernels' exact accumulation order, so every value is
+  // bitwise equal to looping BackwardOne — and per-example dW/db rows
+  // land in the sink untouched by any cross-example reduction, exactly
+  // as DP clipping requires. Examples write disjoint sink rows and dx
+  // slices, so the split is race-free; the embedded batch-1
+  // GemmBatchedTN and its Col2ImAccumulate run inline inside the task
+  // (nested dispatches never fan out), keeping the dispatch count at
+  // one per microbatch.
+  size_t q = oh * ow;
+  size_t kk = in_ch_ * k_ * k_;
+  const float* gy = grad_out.data();
+  float* dxd = dx.data();
+  GemmBatchedNT(
+      out_ch_, q, kk, batch, gy, out_stride,
+      [&](size_t ex, float* col) {
+        Im2Col(x + ex * in_stride, in_ch_, h, w, k_, pad_, col);
+      },
+      [&](size_t ex) { return sink.Slot(ex); },
+      /*accumulate=*/true,
+      [&](size_t ex, const float* /*col*/) {
+        const float* gy_ex = gy + ex * out_stride;
+        // db row, via the same shared row-sum kernel as BackwardOne.
+        AccumulateBiasRowSums(gy_ex, out_ch_, q,
+                              sink.Slot(ex) + weight_.size());
+        // dX slice: column-space gradient panel scattered by col2im.
+        GemmBatchedTN(kk, out_ch_, q, 1, weight_.data(), gy_ex, 0,
+                      [&](size_t, const float* dcol) {
+                        Col2ImAccumulate(dcol, in_ch_, h, w, k_, pad_,
+                                         dxd + ex * in_stride);
+                      });
+      });
   return dx;
 }
 

@@ -3,13 +3,15 @@
 // The production kernel lowers the convolution to im2col + blocked GEMM
 // (src/nn/gemm.h) with all scratch held in a per-layer Workspace, so hot
 // training loops neither allocate nor re-derive loop bounds. ForwardBatch
-// fuses the whole microbatch into a single (OC × N·OH·OW) GEMM over
-// concatenated im2col panels — bitwise identical to the per-example loop
-// (same per-element accumulation order) — while BackwardBatch stays
-// per-example so DP per-example gradient clipping is preserved. The
-// original direct loop nest is kept as a reference kernel
-// (`Conv2dKernel::kNaive`) that tests/nn/kernel_equivalence_test.cc
-// checks the GEMM path against.
+// fuses the whole microbatch into one batched-GEMM dispatch
+// (GemmBatchedNN) and BackwardBatch into one batched backward dispatch
+// (GemmBatchedNT + an embedded per-example GemmBatchedTN/col2im), both
+// bitwise identical to the per-example loop (same per-element
+// accumulation order) with each example's dW/db row written to its own
+// PerExampleGradSink slot — so DP per-example gradient clipping is
+// preserved at batched speed. The original direct loop nest is kept as a
+// reference kernel (`Conv2dKernel::kNaive`) that
+// tests/nn/kernel_equivalence_test.cc checks the GEMM path against.
 
 #ifndef DPBR_NN_CONV2D_H_
 #define DPBR_NN_CONV2D_H_

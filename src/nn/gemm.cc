@@ -145,6 +145,15 @@ void GemmNN(size_t m, size_t k, size_t n, const float* a, const float* b,
   });
 }
 
+void GemmNNSerialRow(size_t k, size_t n, const float* a, const float* b,
+                     float* c, const float* row_init) {
+  if (n == 0) return;
+  for (size_t j0 = 0; j0 < n; j0 += kColTileNN) {
+    GemmNNTile(0, 1, j0, std::min(n, j0 + kColTileNN), k, n, a, b, c,
+               row_init);
+  }
+}
+
 void GemmBatchedNN(
     size_t m, size_t k, size_t n, size_t batch, const float* a, float* c,
     const float* row_init,
@@ -177,6 +186,45 @@ void GemmTN(size_t m, size_t k, size_t n, const float* a, const float* b,
   if (m == 0 || n == 0) return;
   ParallelForBlocked(m, kRowBlock, [&](size_t lo, size_t hi) {
     GemmTNRows(lo, hi, m, k, n, a, b, c);
+  });
+}
+
+void GemmBatchedNT(
+    size_t m, size_t k, size_t n, size_t batch, const float* a,
+    size_t a_stride, const std::function<void(size_t, float*)>& fill_b,
+    const std::function<float*(size_t)>& c_of, bool accumulate,
+    const std::function<void(size_t, const float*)>& epilogue) {
+  if (m == 0 || n == 0 || batch == 0) return;
+  ParallelForBlocked(batch, 1, [&](size_t e0, size_t e1) {
+    // One B panel per worker thread, grow-only across examples and
+    // dispatches (see GemmBatchedNN). Distinct from the TN panel below,
+    // so an epilogue that runs a batch-1 GemmBatchedTN (Conv2d's dX)
+    // cannot clobber the panel it was handed.
+    static thread_local std::vector<float> panel;
+    if (panel.size() < n * k) panel.resize(n * k);
+    for (size_t ex = e0; ex < e1; ++ex) {
+      fill_b(ex, panel.data());
+      // All m rows serially: identical per-element DotChained values to
+      // the per-example GemmNT dispatch, which only splits these rows.
+      GemmNTRows(0, m, k, n, a + ex * a_stride, panel.data(), c_of(ex),
+                 accumulate);
+      if (epilogue != nullptr) epilogue(ex, panel.data());
+    }
+  });
+}
+
+void GemmBatchedTN(
+    size_t m, size_t k, size_t n, size_t batch, const float* a,
+    const float* b, size_t b_stride,
+    const std::function<void(size_t, const float*)>& consume) {
+  if (m == 0 || n == 0 || batch == 0) return;
+  ParallelForBlocked(batch, 1, [&](size_t e0, size_t e1) {
+    static thread_local std::vector<float> panel;
+    if (panel.size() < m * n) panel.resize(m * n);
+    for (size_t ex = e0; ex < e1; ++ex) {
+      GemmTNRows(0, m, m, k, n, a, b + ex * b_stride, panel.data());
+      consume(ex, panel.data());
+    }
   });
 }
 

@@ -54,6 +54,15 @@ class Workspace {
 void GemmNN(size_t m, size_t k, size_t n, const float* a, const float* b,
             float* c, const float* row_init = nullptr);
 
+/// Serial single-row NN GEMM: c (1×n) = a (1×k) · B (k×n), with row 0 of
+/// c starting from the scalar row_init[0] when non-null. Runs the same
+/// tile kernel GemmNN dispatches, so the per-element ascending-p values
+/// are bitwise identical to GemmNN(1, k, n, ...) — the shared primitive
+/// for fused batched dispatches that compute one dX row per example
+/// inside their own task (Linear::BackwardBatch).
+void GemmNNSerialRow(size_t k, size_t n, const float* a, const float* b,
+                     float* c, const float* row_init = nullptr);
+
 /// Batched NN GEMM sharing one left operand: for each ex in [0, batch),
 /// C_ex (m×n) = A (m×k) · B_ex (k×n) with C_ex = c + ex·m·n. Bitwise
 /// identical to calling GemmNN per example — same per-element
@@ -76,6 +85,57 @@ void GemmBatchedNN(
 /// ascending-p accumulation order as GemmNN.
 void GemmTN(size_t m, size_t k, size_t n, const float* a, const float* b,
             float* c);
+
+// --- Batched backward GEMM stack ------------------------------------
+//
+// The backward twins of GemmBatchedNN: each runs a whole microbatch of
+// per-example panel GEMMs as ONE parallel dispatch, split across
+// examples by the shape only (pool-size invariant), with the per-example
+// product computed serially inside the task in the exact per-element
+// accumulation order of the per-example kernel — so the batched call is
+// bitwise equal to looping GemmNT / GemmTN example by example. Panels
+// live in grow-only per-thread scratch that never outlives its example.
+//
+// Composition contract: at batch == 1 these drivers never touch the pool
+// (ParallelFor's single-iteration inline path), so they are dispatch-
+// free when called from another batched dispatch's hook. That is how
+// Conv2d::BackwardBatch runs its entire backward — dW/db rows into the
+// PerExampleGradSink, dX through col2im — as a single dispatch: one
+// GemmBatchedNT whose epilogue folds in the bias row-sums and a
+// batch-1 GemmBatchedTN per example.
+
+/// Batched NT GEMM with streamed right panels: for each ex in [0,batch),
+///   C_ex (m×n) (+)= A_ex (m×k) · B_ex (n×k)ᵀ
+/// where A_ex = a + ex·a_stride and B_ex is written into a per-thread
+/// panel by fill_b(ex, panel) right before it is consumed cache-hot
+/// (Conv2d's backward fills it with Im2Col). C_ex = c_of(ex) is written
+/// in place — a
+/// PerExampleGradSink row in the backward, so per-example dW rows land
+/// exactly where DP clipping reads them, with `accumulate` matching the
+/// sink's accumulate-onto-prezeroed-rows contract. Per-element values
+/// match GemmNT's fixed DotChained order bit for bit. The optional
+/// epilogue(ex, panel) runs inside the same task after the product, with
+/// the filled panel still valid — the fusion point for the rest of an
+/// example's backward (bias row sums, the dX panel product), which is
+/// what makes a whole layer backward a single dispatch.
+void GemmBatchedNT(
+    size_t m, size_t k, size_t n, size_t batch, const float* a,
+    size_t a_stride, const std::function<void(size_t, float*)>& fill_b,
+    const std::function<float*(size_t)>& c_of, bool accumulate = false,
+    const std::function<void(size_t, const float*)>& epilogue = nullptr);
+
+/// Batched TN GEMM with consumed output panels: for each ex in [0,batch),
+///   P_ex (m×n) = Aᵀ · B_ex
+/// for the shared row-major A (k×m) and B_ex = b + ex·b_stride, computed
+/// into a per-thread panel (same ascending-p order as GemmTN) and handed
+/// to consume(ex, panel) while cache-hot. Conv2d's backward consumes the
+/// column-space gradient panel with Col2ImAccumulate to scatter it onto
+/// the example's dX slice, so the materialized K×Q matrix never leaves
+/// the thread that produced it.
+void GemmBatchedTN(
+    size_t m, size_t k, size_t n, size_t batch, const float* a,
+    const float* b, size_t b_stride,
+    const std::function<void(size_t, const float*)>& consume);
 
 /// C (m×n) = (or +=) A (m×k) · Bᵀ for row-major B (n×k). Each element is
 /// a dot product of two unit-stride rows, accumulated in eight fixed

@@ -76,6 +76,14 @@ struct ParamView {
 /// Example j's gradient for this layer's parameter p lands at
 /// base[j * stride + offset + p]; rows must be zeroed by the caller
 /// before the backward pass (layers accumulate into them).
+///
+/// Row ownership under batched dispatches: layers write sink rows from
+/// inside their single ParallelForBlocked backward dispatch, where the
+/// task handling example j owns row j exclusively (examples are split
+/// across tasks by the shape only, and no two examples share a row), so
+/// the writes are race-free and the row contents are independent of the
+/// pool size — the TSan-tier case in
+/// tests/aggregators/determinism_test.cc pins this.
 struct PerExampleGradSink {
   float* base = nullptr;
   size_t stride = 0;  ///< model dimension d

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "tensor/ops.h"
 
 namespace dpbr {
@@ -75,16 +76,29 @@ Tensor Linear::BackwardBatch(const Tensor& grad_out,
   DPBR_CHECK_EQ(grad_out.dim(0), batch);
   DPBR_CHECK_EQ(grad_out.dim(1), out_);
   const float* x = ws_.Get(kInputSlot, batch * in_);
-  // Per-example parameter gradients: dW_j = dy_j ⊗ x_j, db_j = dy_j.
-  for (size_t ex = 0; ex < batch; ++ex) {
-    const float* gy = grad_out.data() + ex * out_;
-    float* wgrad = sink.Slot(ex);
-    ops::Ger(1.0f, gy, x + ex * in_, wgrad, out_, in_);
-    ops::Axpy(1.0f, gy, wgrad + weight_.size(), out_);
-  }
-  // dX = dY · W, one GEMM for the whole microbatch.
   Tensor dx({batch, in_});
-  GemmNN(batch, out_, in_, grad_out.data(), weight_.data(), dx.data());
+  const float* gy = grad_out.data();
+  const float* w = weight_.data();
+  float* dxd = dx.data();
+  size_t wsize = weight_.size();
+  // The whole backward is one batched dispatch split over examples, the
+  // same shape as Conv2d's fused backward but on the raw per-example
+  // kernels: dW_j = dy_j ⊗ x_j is a rank-1 update (a panel GEMM would
+  // pay per-element reduction overhead for k=1), so each task runs the
+  // per-example path's exact Ger/Axpy calls against its own sink row,
+  // then its dX row dx_j = dy_j · W through the serial row core of the
+  // same GemmNN the per-example path dispatches — every output bitwise
+  // equal to the per-example path. Examples touch disjoint sink rows
+  // and dx rows, so the split is race-free and pool-size invariant.
+  ParallelForBlocked(batch, 1, [&](size_t e0, size_t e1) {
+    for (size_t ex = e0; ex < e1; ++ex) {
+      const float* gy_ex = gy + ex * out_;
+      float* wgrad = sink.Slot(ex);
+      ops::Ger(1.0f, gy_ex, x + ex * in_, wgrad, out_, in_);
+      ops::Axpy(1.0f, gy_ex, wgrad + wsize, out_);
+      GemmNNSerialRow(out_, in_, gy_ex, w, dxd + ex * in_);
+    }
+  });
   return dx;
 }
 

@@ -1,5 +1,9 @@
 // Fully connected layer: y = W x + b, batched on the shared GEMM
-// primitive (src/nn/gemm.h) with workspace-cached activations.
+// primitive (src/nn/gemm.h) with workspace-cached activations. The
+// batched backward runs the whole microbatch — per-example dW/db rows
+// into the PerExampleGradSink plus each example's dX row — as one
+// dispatch split over examples, bitwise equal to the per-example
+// Ger/Axpy/GemmNN path.
 
 #ifndef DPBR_NN_LINEAR_H_
 #define DPBR_NN_LINEAR_H_

@@ -36,6 +36,9 @@ class Sequential : public Layer {
   /// (dimension NumParams()) to grads + j·NumParams(). Zeroes the rows
   /// first; returns dL/d(input) with leading batch dimension. This is
   /// the per-example gradient entry point the DP worker clips against.
+  /// Every sublayer's batched backward (like its batched forward) runs
+  /// as one threaded dispatch per microbatch, so a whole worker backward
+  /// pass costs one dispatch per layer.
   Tensor BackwardBatchTo(const Tensor& grad_out, size_t batch, float* grads);
 
   size_t num_layers() const { return layers_.size(); }

@@ -22,7 +22,10 @@
 #include "core/second_stage.h"
 #include "data/synthetic.h"
 #include "fl/worker.h"
+#include "nn/loss.h"
 #include "nn/model_zoo.h"
+#include "nn/sequential.h"
+#include "tensor/tensor.h"
 
 namespace dpbr {
 namespace {
@@ -231,6 +234,37 @@ TEST(FillGaussianDeterminismTest, AddGaussianMatchesFillGaussian) {
   for (size_t i = 0; i < n; ++i) {
     ASSERT_EQ(added[i], 2.0f + filled[i]) << "element " << i;
   }
+}
+
+// --- PerExampleGradSink row layout under the batched backward
+// dispatches: every layer writes example j's dW/db row from inside one
+// ParallelForBlocked per microbatch, where the task handling example j
+// owns row j exclusively. The rows (and the dX chain feeding them) must
+// land bit-identically regardless of the pool size — this is the
+// TSan-tier case for the sink-row ownership contract (the suite runs
+// under -fsanitize=thread in CI's race check).
+TEST(PerExampleGradSinkDeterminismTest, BackwardBatchRowsPoolInvariant) {
+  constexpr size_t kBatch = 7;  // ragged against every pool size swept
+  Tensor batch({kBatch, 1, 8, 8});
+  SplitRng data_rng(17);
+  batch.FillGaussian(&data_rng, 1.0);
+  std::vector<size_t> labels(kBatch);
+  for (size_t ex = 0; ex < kBatch; ++ex) labels[ex] = ex % 4;
+  ExpectPoolInvariant([&] {
+    auto model = nn::MakeCnn(1, 8, 3, 4);
+    SplitRng rng(19);
+    model->InitParams(&rng);
+    Tensor logits = model->ForwardBatch(batch);
+    nn::BatchLossGrad lg = nn::SoftmaxCrossEntropyBatch(logits, labels);
+    size_t dim = model->NumParams();
+    // The flat sink rows are the result under test: one row per example,
+    // conv/linear/GroupNorm segments all written inside their layers'
+    // single batched dispatches.
+    std::vector<float> rows(kBatch * dim);
+    Tensor dx = model->BackwardBatchTo(lg.grad_logits, kBatch, rows.data());
+    rows.insert(rows.end(), dx.data(), dx.data() + dx.size());
+    return rows;
+  });
 }
 
 // The whole DP upload (batched kernels + bulk noise) must not depend on

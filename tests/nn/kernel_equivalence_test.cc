@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -293,6 +294,152 @@ TEST(KernelEquivalenceTest, FusedBatchForwardPoolInvariant) {
       }
     }
   }
+}
+
+// --- Batched backward: BackwardBatch runs the whole microbatch — dW/db
+// rows into the PerExampleGradSink, dX through col2im — as one batched
+// dispatch (GemmBatchedNT + embedded GemmBatchedTN). Per-element
+// accumulation order is unchanged, so it must be bitwise equal to the
+// per-example Forward/Backward reference at N = 1, 3, 7, with every
+// example's sink row exactly the gradient the per-example path
+// accumulates.
+
+TEST(KernelEquivalenceTest, ConvBackwardBatchMatchesPerExampleBitwise) {
+  for (size_t batch : {size_t{1}, size_t{3}, size_t{7}}) {
+    for (const ConvCase& c : kCases) {
+      ConvPair p = MakePair(c.in_ch, c.out_ch, c.k, c.pad, 193);
+      Tensor xb = RandomTensor({batch, c.in_ch, c.h, c.w}, 197 + batch);
+      Tensor yb = p.gemm->ForwardBatch(xb);
+      Tensor gyb = RandomTensor(yb.shape(), 199 + batch);
+      size_t dim = p.gemm->NumParams();
+      std::vector<float> sink(batch * dim, 0.0f);
+      Tensor dxb = p.gemm->BackwardBatch(gyb, {sink.data(), dim, 0});
+      size_t in_stride = c.in_ch * c.h * c.w;
+      size_t out_stride = yb.size() / batch;
+      for (size_t ex = 0; ex < batch; ++ex) {
+        Tensor x({c.in_ch, c.h, c.w},
+                 std::vector<float>(xb.data() + ex * in_stride,
+                                    xb.data() + (ex + 1) * in_stride));
+        Tensor gy({c.out_ch, yb.dim(2), yb.dim(3)},
+                  std::vector<float>(gyb.data() + ex * out_stride,
+                                     gyb.data() + (ex + 1) * out_stride));
+        p.gemm->ZeroGrad();
+        p.gemm->Forward(x);
+        Tensor dx = p.gemm->Backward(gy);
+        std::vector<float> ex_grads;
+        for (const ParamView& v : p.gemm->Params()) {
+          ex_grads.insert(ex_grads.end(), v.grad, v.grad + v.size);
+        }
+        ASSERT_EQ(ex_grads.size(), dim);
+        for (size_t i = 0; i < in_stride; ++i) {
+          ASSERT_EQ(dxb[ex * in_stride + i], dx[i])
+              << "batch " << batch << " ex " << ex << " dx[" << i << "]";
+        }
+        for (size_t i = 0; i < dim; ++i) {
+          ASSERT_EQ(sink[ex * dim + i], ex_grads[i])
+              << "batch " << batch << " ex " << ex << " param " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, LinearBackwardBatchMatchesPerExampleBitwise) {
+  constexpr size_t kIn = 13, kOut = 5;
+  for (size_t batch : {size_t{1}, size_t{3}, size_t{7}}) {
+    Linear linear(kIn, kOut);
+    SplitRng rng(211);
+    linear.InitParams(&rng);
+    Tensor xb = RandomTensor({batch, kIn}, 223 + batch);
+    Tensor gyb = RandomTensor({batch, kOut}, 227 + batch);
+    linear.ForwardBatch(xb);
+    size_t dim = linear.NumParams();
+    std::vector<float> sink(batch * dim, 0.0f);
+    Tensor dxb = linear.BackwardBatch(gyb, {sink.data(), dim, 0});
+    for (size_t ex = 0; ex < batch; ++ex) {
+      Tensor x({kIn}, std::vector<float>(xb.data() + ex * kIn,
+                                         xb.data() + (ex + 1) * kIn));
+      Tensor gy({kOut}, std::vector<float>(gyb.data() + ex * kOut,
+                                           gyb.data() + (ex + 1) * kOut));
+      linear.ZeroGrad();
+      linear.Forward(x);
+      Tensor dx = linear.Backward(gy);
+      std::vector<float> ex_grads;
+      for (const ParamView& v : linear.Params()) {
+        ex_grads.insert(ex_grads.end(), v.grad, v.grad + v.size);
+      }
+      for (size_t i = 0; i < kIn; ++i) {
+        ASSERT_EQ(dxb[ex * kIn + i], dx[i])
+            << "batch " << batch << " ex " << ex << " dx[" << i << "]";
+      }
+      for (size_t i = 0; i < dim; ++i) {
+        ASSERT_EQ(sink[ex * dim + i], ex_grads[i])
+            << "batch " << batch << " ex " << ex << " param " << i;
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, ConvBackwardBatchPoolInvariant) {
+  size_t hw = std::max<size_t>(2, std::thread::hardware_concurrency());
+  for (const ConvCase& c : kCases) {
+    std::vector<std::vector<float>> outs;  // dx ++ sink per pool size
+    for (size_t threads : {size_t{1}, size_t{2}, hw}) {
+      ThreadPool pool(threads);
+      ScopedPoolOverride override_pool(&pool);
+      ConvPair p = MakePair(c.in_ch, c.out_ch, c.k, c.pad, 229);
+      Tensor xb = RandomTensor({7, c.in_ch, c.h, c.w}, 233);
+      Tensor yb = p.gemm->ForwardBatch(xb);
+      Tensor gyb = RandomTensor(yb.shape(), 239);
+      size_t dim = p.gemm->NumParams();
+      std::vector<float> sink(7 * dim, 0.0f);
+      Tensor dxb = p.gemm->BackwardBatch(gyb, {sink.data(), dim, 0});
+      std::vector<float> all(dxb.data(), dxb.data() + dxb.size());
+      all.insert(all.end(), sink.begin(), sink.end());
+      outs.push_back(std::move(all));
+    }
+    for (size_t i = 1; i < outs.size(); ++i) {
+      ASSERT_EQ(outs[0], outs[i]) << "pool run " << i;
+    }
+  }
+}
+
+// The single-dispatch contract, proven rather than asserted in prose:
+// with a multi-thread pool and a multi-example microbatch, each batched
+// forward and backward must fan work out to the pool exactly once.
+TEST(KernelEquivalenceTest, ConvAndLinearBatchedPassesAreOneDispatch) {
+  ThreadPool pool(4);
+  ScopedPoolOverride override_pool(&pool);
+  // Larger than the GEMM row block (8) so even the row-split forward
+  // GEMMs genuinely fan out instead of collapsing to the inline path.
+  constexpr size_t kN = 9;
+
+  Conv2d conv(3, 8, 3, 1);
+  SplitRng rng(241);
+  conv.InitParams(&rng);
+  Tensor xb = RandomTensor({kN, 3, 9, 9}, 251);
+  uint64_t before = ParallelDispatchCount();
+  Tensor yb = conv.ForwardBatch(xb);
+  EXPECT_EQ(ParallelDispatchCount() - before, 1u) << "conv forward";
+  Tensor gyb = RandomTensor(yb.shape(), 257);
+  size_t dim = conv.NumParams();
+  std::vector<float> sink(kN * dim, 0.0f);
+  before = ParallelDispatchCount();
+  conv.BackwardBatch(gyb, {sink.data(), dim, 0});
+  EXPECT_EQ(ParallelDispatchCount() - before, 1u) << "conv backward";
+
+  Linear linear(48, 10);
+  linear.InitParams(&rng);
+  Tensor lx = RandomTensor({kN, 48}, 263);
+  before = ParallelDispatchCount();
+  linear.ForwardBatch(lx);
+  EXPECT_EQ(ParallelDispatchCount() - before, 1u) << "linear forward";
+  Tensor lgy = RandomTensor({kN, 10}, 269);
+  size_t ldim = linear.NumParams();
+  std::vector<float> lsink(kN * ldim, 0.0f);
+  before = ParallelDispatchCount();
+  linear.BackwardBatch(lgy, {lsink.data(), ldim, 0});
+  EXPECT_EQ(ParallelDispatchCount() - before, 1u) << "linear backward";
 }
 
 TEST(KernelEquivalenceTest, BatchedCnnMatchesPerExampleBitwise) {
