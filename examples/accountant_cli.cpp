@@ -7,6 +7,10 @@
 //   ./accountant_cli --q=0.0053 --eps=0.125 --steps=1500 --delta=1.4e-4
 //   # protocol view: per-worker dataset/batch/epochs instead of q/steps
 //   ./accountant_cli --dataset_size=3000 --batch=16 --epochs=8 --eps=2
+//
+// All three forms take --qc=<rate> for per-round Poisson client
+// subsampling (default 1 = every client every round); see
+// docs/privacy_accounting.md for the worked example.
 
 #include <cstdio>
 #include <iostream>
@@ -25,6 +29,7 @@ int main(int argc, char** argv) {
     spec.epochs = static_cast<int>(flags.GetInt("epochs", 8));
     spec.epsilon = flags.GetDouble("eps", 1.0);
     spec.delta = flags.GetDouble("delta", -1.0);
+    spec.client_sampling_rate = flags.GetDouble("qc", 1.0);
     auto params = dpbr::dp::CalibratePrivacy(spec);
     if (!params.ok()) {
       std::cerr << params.status().ToString() << "\n";
@@ -39,28 +44,32 @@ int main(int argc, char** argv) {
   }
 
   double q = flags.GetDouble("q", 0.016);
+  double qc = flags.GetDouble("qc", 1.0);
   int steps = static_cast<int>(flags.GetInt("steps", 500));
   double delta = flags.GetDouble("delta", 1e-4);
 
   if (flags.Has("sigma")) {
     double sigma = flags.GetDouble("sigma", 1.0);
-    auto eps = dpbr::dp::ComputeEpsilon(q, sigma, steps, delta);
+    auto eps =
+        dpbr::dp::ComputeEpsilonClientSubsampled(qc, q, sigma, steps, delta);
     if (!eps.ok()) {
       std::cerr << eps.status().ToString() << "\n";
       return 1;
     }
-    std::printf("q=%g sigma=%g steps=%d delta=%g  =>  eps=%.6f\n", q, sigma,
-                steps, delta, eps.value());
+    std::printf("qc=%g q=%g sigma=%g steps=%d delta=%g  =>  eps=%.6f\n", qc,
+                q, sigma, steps, delta, eps.value());
     return 0;
   }
 
   double eps = flags.GetDouble("eps", 1.0);
-  auto sigma = dpbr::dp::NoiseMultiplierFor(q, steps, eps, delta);
+  auto sigma =
+      dpbr::dp::NoiseMultiplierForClientSubsampled(qc, q, steps, eps, delta);
   if (!sigma.ok()) {
     std::cerr << sigma.status().ToString() << "\n";
     return 1;
   }
-  std::printf("q=%g eps=%g steps=%d delta=%g  =>  noise multiplier=%.6f\n",
-              q, eps, steps, delta, sigma.value());
+  std::printf(
+      "qc=%g q=%g eps=%g steps=%d delta=%g  =>  noise multiplier=%.6f\n", qc,
+      q, eps, steps, delta, sigma.value());
   return 0;
 }

@@ -53,6 +53,12 @@ HOT_BENCHMARKS = [
     "BM_GemmConvShape",
     "BM_LocalStepCnn",
     "BM_LocalStepCnnBackward",
+    "BM_RoundUpload/1000",
+    "BM_RoundUpload/10000",
+    "BM_RoundUpload/100000",
+    "BM_AggregateArena/1000",
+    "BM_AggregateArena/10000",
+    "BM_AggregateArena/100000",
 ]
 
 # A hot benchmark fails when run_time > baseline_time * REGRESSION_FACTOR.

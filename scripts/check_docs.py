@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Documentation lint gate: warnings are errors.
+
+Checks README.md and every Markdown file under docs/ for the defects
+that actually rot in a repo: dead relative links (files and heading
+anchors), unbalanced or language-less code fences, malformed heading
+structure, and stray tabs / trailing whitespace. No third-party
+markdown-lint is assumed — the container has none — so the checks are
+implemented here directly.
+
+Usage:  python3 scripts/check_docs.py  (from anywhere; paths resolve
+relative to the repo root, the parent of this script's directory).
+
+Exit status 0 when clean, 1 with file:line diagnostics otherwise.
+"""
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Inline links/images: [text](target) — target may carry a #fragment.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+
+
+def doc_files():
+    files = []
+    readme = os.path.join(REPO_ROOT, "README.md")
+    if os.path.exists(readme):
+        files.append(readme)
+    docs = os.path.join(REPO_ROOT, "docs")
+    for dirpath, _, names in os.walk(docs):
+        for name in sorted(names):
+            if name.endswith(".md"):
+                files.append(os.path.join(dirpath, name))
+    return files
+
+
+def github_anchor(heading_text):
+    """The anchor GitHub generates for a heading."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading_text).strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def parse(path):
+    """Returns (lines, headings, fence_errors, in_fence_mask)."""
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    headings = []  # (lineno, level, text)
+    errors = []
+    in_fence = False
+    fence_open_line = 0
+    mask = []
+    for i, line in enumerate(lines, 1):
+        stripped = line.strip()
+        if stripped.startswith("```"):
+            if not in_fence:
+                in_fence = True
+                fence_open_line = i
+                if stripped == "```":
+                    errors.append((i, "opening code fence without a "
+                                      "language tag (use ```sh, ```text, "
+                                      "...)"))
+            else:
+                in_fence = False
+            mask.append(True)
+            continue
+        mask.append(in_fence)
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if m:
+            headings.append((i, len(m.group(1)), m.group(2)))
+    if in_fence:
+        errors.append((fence_open_line, "unclosed code fence"))
+    return lines, headings, errors, mask
+
+
+def check_file(path, anchors_by_file):
+    rel = os.path.relpath(path, REPO_ROOT)
+    lines, headings, errors, mask = parse(path)
+
+    for i, line in enumerate(lines, 1):
+        if "\t" in line:
+            errors.append((i, "hard tab"))
+        if line != line.rstrip():
+            errors.append((i, "trailing whitespace"))
+
+    h1s = [h for h in headings if h[1] == 1]
+    if len(h1s) != 1:
+        errors.append((h1s[1][0] if len(h1s) > 1 else 1,
+                       f"expected exactly one H1 title, found {len(h1s)}"))
+    prev_level = 0
+    for lineno, level, text in headings:
+        if prev_level and level > prev_level + 1:
+            errors.append((lineno, f"heading level jumps from "
+                                   f"{prev_level} to {level}: '{text}'"))
+        prev_level = level
+
+    for i, line in enumerate(lines, 1):
+        if mask[i - 1]:
+            continue  # don't lint links inside code fences
+        for m in LINK_RE.finditer(line):
+            target = m.group(1)
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:
+                continue
+            frag = None
+            if "#" in target:
+                target, frag = target.split("#", 1)
+            if target:
+                dest = os.path.normpath(
+                    os.path.join(os.path.dirname(path), target))
+                if not (dest + os.sep).startswith(REPO_ROOT + os.sep):
+                    continue  # escapes the repo (e.g. GitHub badge URLs)
+                if not os.path.exists(dest):
+                    errors.append((i, f"broken link: {m.group(1)}"))
+                    continue
+            else:
+                dest = path
+            if frag is not None and dest.endswith(".md"):
+                if frag not in anchors_by_file.get(dest, set()):
+                    errors.append((i, f"broken anchor: {m.group(1)}"))
+
+    return [(rel, lineno, msg) for lineno, msg in sorted(errors)]
+
+
+def main():
+    files = doc_files()
+    anchors_by_file = {}
+    for path in files:
+        _, headings, _, _ = parse(path)
+        anchors_by_file[path] = {github_anchor(t) for _, _, t in headings}
+
+    failures = []
+    for path in files:
+        failures.extend(check_file(path, anchors_by_file))
+
+    for rel, lineno, msg in failures:
+        print(f"{rel}:{lineno}: {msg}")
+    if failures:
+        print(f"\ndocs gate: {len(failures)} problem(s) in "
+              f"{len(files)} file(s)")
+        return 1
+    print(f"docs gate: {len(files)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,12 @@
 // Every robust-aggregation baseline from the paper's comparison table and
 // the dpbr two-stage protocol implement this interface; the FL trainer is
 // agnostic to which rule is plugged in.
+//
+// Uploads arrive as ONE contiguous `n x d` row-major block (RowSpan over
+// the round's fl::UploadArena) rather than n separate vectors, so rules
+// stream over client rows / coordinate tiles without per-client
+// allocations. See docs/architecture.md ("Upload arena") for the
+// ownership rules.
 
 #ifndef DPBR_AGGREGATORS_AGGREGATOR_H_
 #define DPBR_AGGREGATORS_AGGREGATOR_H_
@@ -11,14 +17,16 @@
 #include <string>
 #include <vector>
 
+#include "common/span.h"
 #include "common/status.h"
 
 namespace dpbr {
 namespace agg {
 
-/// Per-round information available to the server.
+/// \brief Per-round information available to the server.
 struct AggregationContext {
   int round = 0;
+  /// Model dimension d; every upload row has exactly this length.
   size_t dim = 0;
   /// Per-coordinate std of the DP noise in each honest upload (σ/bc);
   /// 0 when DP is disabled.
@@ -28,24 +36,49 @@ struct AggregationContext {
   /// Gradient computed from the server's auxiliary data, or nullptr when
   /// the active aggregator does not request one.
   const std::vector<float>* server_gradient = nullptr;
+  /// Stable global client ids of the uploads (position i of the span
+  /// belongs to client client_ids[i]), or nullptr when the cohort is
+  /// fixed (then position == id). Rules with cross-round per-client
+  /// state (the dpbr second stage's cumulative scores) key on these so
+  /// Poisson-subsampled rounds — where the participating subset changes
+  /// every round — accumulate correctly.
+  const std::vector<int>* client_ids = nullptr;
 };
 
-/// Aggregation rule mapping n uploads to one model-update direction.
+/// \brief Aggregation rule mapping n uploads to one model-update
+/// direction.
+///
+/// The production entry point is the span overload of Aggregate(): a
+/// zero-copy view of the round's upload arena. A rule MAY zero whole
+/// rows of the span in place (the Algorithm 2 "g ← 0" rejection
+/// semantics); it must never write anything else, and must not retain
+/// the span past the call. The vector-of-vectors overload is a
+/// compatibility adapter that packs into contiguous scratch and
+/// delegates — the copied path, kept for tests and external callers.
 class Aggregator {
  public:
   virtual ~Aggregator() = default;
 
+  /// Stable identifier used in tables/benchmarks (e.g. "krum").
   virtual std::string name() const = 0;
 
   /// True when Aggregate requires ctx.server_gradient (FLTrust, the dpbr
   /// second stage). The trainer computes it only on demand.
   virtual bool NeedsServerGradient() const { return false; }
 
-  /// Combines `uploads` (all of size ctx.dim) into the vector the server
-  /// subtracts (scaled by η) from the model.
+  /// Combines the n upload rows (each of length ctx.dim) into the vector
+  /// the server subtracts (scaled by η) from the model. May zero
+  /// rejected rows in place; otherwise read-only.
   virtual Result<std::vector<float>> Aggregate(
+      RowSpan uploads, const AggregationContext& ctx) = 0;
+
+  /// Legacy adapter: packs `uploads` into contiguous scratch and runs
+  /// the span path. Bitwise-identical to aggregating an arena holding
+  /// the same rows (tests/aggregators/arena_equivalence_test.cc pins
+  /// this for every rule). The caller's vectors are never modified.
+  Result<std::vector<float>> Aggregate(
       const std::vector<std::vector<float>>& uploads,
-      const AggregationContext& ctx) = 0;
+      const AggregationContext& ctx);
 
   /// Clears any cross-round state (e.g. cumulative score lists).
   virtual void Reset() {}
@@ -53,12 +86,25 @@ class Aggregator {
 
 using AggregatorPtr = std::unique_ptr<Aggregator>;
 
+/// Shared validation for the span path: non-empty, row length == ctx.dim.
+Status ValidateUploads(ConstRowSpan uploads, const AggregationContext& ctx);
+
 /// Shared validation: non-empty upload set, uniform dimension == ctx.dim.
 Status ValidateUploads(const std::vector<std::vector<float>>& uploads,
                        const AggregationContext& ctx);
 
 /// Number of workers the server trusts: ⌈gamma·n⌉, clamped to [1, n].
 size_t TrustedCount(double gamma, size_t n);
+
+/// Mean of the span rows listed in `rows` (accumulated in that order),
+/// blocked by coordinate under the thread pool. Per-coordinate fold
+/// order depends only on `rows`, so the result is bit-identical to the
+/// serial ops::MeanOf over the same vectors and invariant to pool size.
+std::vector<float> MeanOfSpanRows(ConstRowSpan uploads,
+                                  const std::vector<size_t>& rows);
+
+/// MeanOfSpanRows over every row in index order.
+std::vector<float> MeanOfAllRows(ConstRowSpan uploads);
 
 }  // namespace agg
 }  // namespace dpbr

@@ -9,8 +9,7 @@ namespace dpbr {
 namespace agg {
 
 Result<std::vector<float>> FlTrustAggregator::Aggregate(
-    const std::vector<std::vector<float>>& uploads,
-    const AggregationContext& ctx) {
+    RowSpan uploads, const AggregationContext& ctx) {
   DPBR_RETURN_NOT_OK(ValidateUploads(uploads, ctx));
   if (ctx.server_gradient == nullptr) {
     return Status::FailedPrecondition("FLTrust needs a server gradient");
@@ -27,15 +26,16 @@ Result<std::vector<float>> FlTrustAggregator::Aggregate(
   // Per-upload trust scores (cosine + norm are full-vector reductions,
   // the expensive part) computed in parallel; `scale` of 0 marks uploads
   // that the fixed-order accumulation below skips.
-  size_t n = uploads.size();
+  size_t n = uploads.rows;
   std::vector<float> scale(n, 0.0f);
   std::vector<double> trust(n, 0.0);
   ParallelFor(0, n, [&](size_t i) {
-    double cos = ops::CosineSimilarity(uploads[i], gs);
+    const float* row = uploads.Row(i);
+    double u_norm = ops::Norm(row, ctx.dim);
+    if (u_norm == 0.0) return;
+    double cos = ops::Dot(row, gs.data(), ctx.dim) / (u_norm * gs_norm);
     double w = std::max(cos, 0.0);  // ReLU trust score
     if (w == 0.0) return;
-    double u_norm = ops::Norm(uploads[i]);
-    if (u_norm == 0.0) return;
     // Rescale the upload to the server gradient's magnitude.
     scale[i] = static_cast<float>(w * gs_norm / u_norm);
     trust[i] = w;
@@ -46,7 +46,7 @@ Result<std::vector<float>> FlTrustAggregator::Aggregate(
   ParallelForBlocked(ctx.dim, 4096, [&](size_t lo, size_t hi) {
     for (size_t i = 0; i < n; ++i) {
       if (scale[i] == 0.0f) continue;
-      ops::Axpy(scale[i], uploads[i].data() + lo, out.data() + lo, hi - lo);
+      ops::Axpy(scale[i], uploads.Row(i) + lo, out.data() + lo, hi - lo);
     }
   });
   if (weight_sum == 0.0) {

@@ -17,11 +17,12 @@ namespace agg {
 
 class FlTrustAggregator : public Aggregator {
  public:
+  using Aggregator::Aggregate;
+
   std::string name() const override { return "fltrust"; }
   bool NeedsServerGradient() const override { return true; }
   Result<std::vector<float>> Aggregate(
-      const std::vector<std::vector<float>>& uploads,
-      const AggregationContext& ctx) override;
+      RowSpan uploads, const AggregationContext& ctx) override;
 };
 
 }  // namespace agg

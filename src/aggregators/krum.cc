@@ -4,16 +4,14 @@
 #include <numeric>
 
 #include "common/thread_pool.h"
-#include "tensor/ops.h"
 
 namespace dpbr {
 namespace agg {
 
 Result<std::vector<float>> KrumAggregator::Aggregate(
-    const std::vector<std::vector<float>>& uploads,
-    const AggregationContext& ctx) {
+    RowSpan uploads, const AggregationContext& ctx) {
   DPBR_RETURN_NOT_OK(ValidateUploads(uploads, ctx));
-  size_t n = uploads.size();
+  size_t n = uploads.rows;
   size_t trusted = TrustedCount(ctx.gamma, n);
   size_t f = n - trusted;  // assumed Byzantine count
   // Krum needs n >= f + 3 so that n - f - 2 >= 1 neighbors exist.
@@ -30,9 +28,9 @@ Result<std::vector<float>> KrumAggregator::Aggregate(
   // shrinks with i and ParallelFor chunks the index range contiguously.
   std::vector<double> d2(n * n, 0.0);
   auto distance_row = [&](size_t i) {
-    const float* a = uploads[i].data();
+    const float* a = uploads.Row(i);
     for (size_t j = i + 1; j < n; ++j) {
-      const float* b = uploads[j].data();
+      const float* b = uploads.Row(j);
       double s = 0.0;
       for (size_t k = 0; k < ctx.dim; ++k) {
         double diff = static_cast<double>(a[k]) - b[k];
@@ -70,11 +68,11 @@ Result<std::vector<float>> KrumAggregator::Aggregate(
   std::sort(order.begin(), order.end(),
             [&score](size_t a, size_t b) { return score[a] < score[b]; });
 
+  // Mean of the selected rows, accumulated in score order (matching the
+  // historical ops::MeanOf over the copied selection).
   size_t take = std::min(std::max<size_t>(multi_k_, 1), n);
-  std::vector<std::vector<float>> selected;
-  selected.reserve(take);
-  for (size_t k = 0; k < take; ++k) selected.push_back(uploads[order[k]]);
-  return ops::MeanOf(selected);
+  order.resize(take);
+  return MeanOfSpanRows(uploads, order);
 }
 
 }  // namespace agg

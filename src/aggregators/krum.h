@@ -15,17 +15,18 @@ namespace agg {
 /// its n - f - 2 nearest neighbors, where f is the assumed number of
 /// Byzantine workers (derived from ctx.gamma: f = n - ⌈γn⌉).
 /// With multi_k > 1 (Multi-Krum) the multi_k best-scoring uploads are
-/// averaged instead.
+/// averaged instead. O(n²·d) — skipped at the 100k bench scale.
 class KrumAggregator : public Aggregator {
  public:
   explicit KrumAggregator(size_t multi_k = 1) : multi_k_(multi_k) {}
+
+  using Aggregator::Aggregate;
 
   std::string name() const override {
     return multi_k_ > 1 ? "multi_krum" : "krum";
   }
   Result<std::vector<float>> Aggregate(
-      const std::vector<std::vector<float>>& uploads,
-      const AggregationContext& ctx) override;
+      RowSpan uploads, const AggregationContext& ctx) override;
 
  private:
   size_t multi_k_;

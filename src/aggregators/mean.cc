@@ -1,15 +1,12 @@
 #include "aggregators/mean.h"
 
-#include "tensor/ops.h"
-
 namespace dpbr {
 namespace agg {
 
 Result<std::vector<float>> MeanAggregator::Aggregate(
-    const std::vector<std::vector<float>>& uploads,
-    const AggregationContext& ctx) {
+    RowSpan uploads, const AggregationContext& ctx) {
   DPBR_RETURN_NOT_OK(ValidateUploads(uploads, ctx));
-  return ops::MeanOf(uploads);
+  return MeanOfAllRows(uploads);
 }
 
 }  // namespace agg

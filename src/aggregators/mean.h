@@ -14,10 +14,11 @@ namespace agg {
 /// Unweighted mean of all uploads.
 class MeanAggregator : public Aggregator {
  public:
+  using Aggregator::Aggregate;
+
   std::string name() const override { return "mean"; }
   Result<std::vector<float>> Aggregate(
-      const std::vector<std::vector<float>>& uploads,
-      const AggregationContext& ctx) override;
+      RowSpan uploads, const AggregationContext& ctx) override;
 };
 
 }  // namespace agg

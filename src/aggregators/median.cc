@@ -7,26 +7,42 @@
 namespace dpbr {
 namespace agg {
 
+size_t SelectionTileWidth(size_t n) {
+  // ~4 MB of scratch per task (1M floats). At n = 100k this is a
+  // 10-column tile; at test sizes it caps at 1024 columns. Depends only
+  // on n (shape), never on data or pool size.
+  constexpr size_t kTileFloatBudget = size_t{1} << 20;
+  size_t w = kTileFloatBudget / std::max<size_t>(n, 1);
+  return std::max<size_t>(1, std::min<size_t>(w, 1024));
+}
+
 Result<std::vector<float>> CoordinateMedianAggregator::Aggregate(
-    const std::vector<std::vector<float>>& uploads,
-    const AggregationContext& ctx) {
+    RowSpan uploads, const AggregationContext& ctx) {
   DPBR_RETURN_NOT_OK(ValidateUploads(uploads, ctx));
-  size_t n = uploads.size();
+  size_t n = uploads.rows;
   std::vector<float> out(ctx.dim);
-  // Coordinates are independent; block them so each task amortizes its
-  // column scratch buffer over many selects.
-  ParallelForBlocked(ctx.dim, 1024, [&](size_t lo, size_t hi_end) {
-    std::vector<float> column(n);
+  // Chunked column-major selection: gather a tile of `width` columns
+  // (each column contiguous in scratch), then select per column. The
+  // gather reads each arena row once per tile; the selects then run on
+  // cache-resident columns. Coordinates are independent, so the blocked
+  // split is shape-only.
+  size_t width = SelectionTileWidth(n);
+  ParallelForBlocked(ctx.dim, width, [&](size_t lo, size_t hi_end) {
+    size_t cols = hi_end - lo;
+    std::vector<float> tile(cols * n);
+    for (size_t i = 0; i < n; ++i) {
+      const float* row = uploads.Row(i);
+      for (size_t j = lo; j < hi_end; ++j) tile[(j - lo) * n + i] = row[j];
+    }
     for (size_t j = lo; j < hi_end; ++j) {
-      for (size_t i = 0; i < n; ++i) column[i] = uploads[i][j];
+      float* column = tile.data() + (j - lo) * n;
       size_t mid = n / 2;
-      std::nth_element(column.begin(), column.begin() + mid, column.end());
+      std::nth_element(column, column + mid, column + n);
       float hi = column[mid];
       if (n % 2 == 1) {
         out[j] = hi;
       } else {
-        std::nth_element(column.begin(), column.begin() + mid - 1,
-                         column.end());
+        std::nth_element(column, column + mid - 1, column + n);
         out[j] = 0.5f * (hi + column[mid - 1]);
       }
     }

@@ -11,13 +11,25 @@ namespace dpbr {
 namespace agg {
 
 /// out[j] = median(uploads[0][j], ..., uploads[n-1][j]).
+///
+/// Streams over the row-major arena in column tiles: each task gathers a
+/// `W x n` column-major tile into scratch (W sized so the tile fits a
+/// fixed float budget even at n = 100k) and runs an independent
+/// nth_element per column. Per-column selection depends only on the
+/// column's values, so the result is pool-size invariant.
 class CoordinateMedianAggregator : public Aggregator {
  public:
+  using Aggregator::Aggregate;
+
   std::string name() const override { return "coordinate_median"; }
   Result<std::vector<float>> Aggregate(
-      const std::vector<std::vector<float>>& uploads,
-      const AggregationContext& ctx) override;
+      RowSpan uploads, const AggregationContext& ctx) override;
 };
+
+/// Shape-only tile width for the column-major gather used by the
+/// coordinate-selection rules: as many columns as fit the scratch budget
+/// (n floats per column), clamped to [1, 1024]. Exposed for tests.
+size_t SelectionTileWidth(size_t n);
 
 }  // namespace agg
 }  // namespace dpbr

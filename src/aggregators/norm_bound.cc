@@ -10,14 +10,14 @@ namespace dpbr {
 namespace agg {
 
 Result<std::vector<float>> NormBoundAggregator::Aggregate(
-    const std::vector<std::vector<float>>& uploads,
-    const AggregationContext& ctx) {
+    RowSpan uploads, const AggregationContext& ctx) {
   DPBR_RETURN_NOT_OK(ValidateUploads(uploads, ctx));
-  size_t n = uploads.size();
+  size_t n = uploads.rows;
   // Per-upload norms are independent full-vector reductions; compute them
   // once, in parallel, and reuse for both the median bound and clipping.
   std::vector<double> norms(n);
-  ParallelFor(0, n, [&](size_t i) { norms[i] = ops::Norm(uploads[i]); });
+  ParallelFor(0, n,
+              [&](size_t i) { norms[i] = ops::Norm(uploads.Row(i), ctx.dim); });
   double bound = bound_;
   if (bound <= 0.0) {
     bound = stats::Median(std::vector<double>(norms));
@@ -31,7 +31,7 @@ Result<std::vector<float>> NormBoundAggregator::Aggregate(
   std::vector<float> out(ctx.dim, 0.0f);
   ParallelForBlocked(ctx.dim, 4096, [&](size_t lo, size_t hi) {
     for (size_t i = 0; i < n; ++i) {
-      ops::Axpy(scale[i], uploads[i].data() + lo, out.data() + lo, hi - lo);
+      ops::Axpy(scale[i], uploads.Row(i) + lo, out.data() + lo, hi - lo);
     }
   });
   ops::Scale(1.0f / static_cast<float>(n), out.data(), ctx.dim);

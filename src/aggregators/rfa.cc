@@ -9,11 +9,10 @@ namespace dpbr {
 namespace agg {
 
 Result<std::vector<float>> RfaAggregator::Aggregate(
-    const std::vector<std::vector<float>>& uploads,
-    const AggregationContext& ctx) {
+    RowSpan uploads, const AggregationContext& ctx) {
   DPBR_RETURN_NOT_OK(ValidateUploads(uploads, ctx));
-  size_t n = uploads.size();
-  std::vector<float> g = ops::MeanOf(uploads);  // warm start at the mean
+  size_t n = uploads.rows;
+  std::vector<float> g = MeanOfAllRows(uploads);  // warm start at the mean
   std::vector<double> w(n);
   // Coordinate blocking is fixed (independent of the pool size) so every
   // float accumulation happens in the same order under any thread count.
@@ -24,9 +23,10 @@ Result<std::vector<float>> RfaAggregator::Aggregate(
     // Weiszfeld weights: each upload's distance to the iterate is an
     // independent reduction.
     ParallelFor(0, n, [&](size_t i) {
+      const float* row = uploads.Row(i);
       double dist2 = 0.0;
       for (size_t k = 0; k < ctx.dim; ++k) {
-        double d = static_cast<double>(g[k]) - uploads[i][k];
+        double d = static_cast<double>(g[k]) - row[k];
         dist2 += d * d;
       }
       w[i] = 1.0 / std::sqrt(dist2 + smoothing_ * smoothing_);
@@ -42,8 +42,8 @@ Result<std::vector<float>> RfaAggregator::Aggregate(
     std::vector<float> next(ctx.dim, 0.0f);
     ParallelForBlocked(ctx.dim, kBlock, [&](size_t lo, size_t hi) {
       for (size_t i = 0; i < n; ++i) {
-        ops::Axpy(precomputed_wi[i], uploads[i].data() + lo,
-                  next.data() + lo, hi - lo);
+        ops::Axpy(precomputed_wi[i], uploads.Row(i) + lo, next.data() + lo,
+                  hi - lo);
       }
       double d2 = 0.0;
       for (size_t k = lo; k < hi; ++k) {

@@ -17,10 +17,11 @@ class RfaAggregator : public Aggregator {
   explicit RfaAggregator(int max_iters = 16, double smoothing = 1e-6)
       : max_iters_(max_iters), smoothing_(smoothing) {}
 
+  using Aggregator::Aggregate;
+
   std::string name() const override { return "rfa_geometric_median"; }
   Result<std::vector<float>> Aggregate(
-      const std::vector<std::vector<float>>& uploads,
-      const AggregationContext& ctx) override;
+      RowSpan uploads, const AggregationContext& ctx) override;
 
  private:
   int max_iters_;

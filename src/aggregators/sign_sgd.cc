@@ -2,27 +2,38 @@
 
 #include <cmath>
 
+#include "common/thread_pool.h"
+
 namespace dpbr {
 namespace agg {
 
 Result<std::vector<float>> SignSgdAggregator::Aggregate(
-    const std::vector<std::vector<float>>& uploads,
-    const AggregationContext& ctx) {
+    RowSpan uploads, const AggregationContext& ctx) {
   DPBR_RETURN_NOT_OK(ValidateUploads(uploads, ctx));
+  size_t n = uploads.rows;
   double scale = scale_ > 0.0
                      ? scale_
                      : 1.0 / std::sqrt(static_cast<double>(ctx.dim));
   std::vector<float> out(ctx.dim);
-  for (size_t j = 0; j < ctx.dim; ++j) {
-    int vote = 0;
-    for (const auto& u : uploads) {
-      // 1 for non-negative, -1 for negative (paper §3.2's description of
-      // the sign-compression family).
-      vote += (u[j] >= 0.0f) ? 1 : -1;
+  // Votes are exact integers, so any blocking is bitwise-safe; block by
+  // coordinate and walk rows outer / coordinates inner so each arena row
+  // streams through cache once per block.
+  ParallelForBlocked(ctx.dim, 4096, [&](size_t lo, size_t hi) {
+    std::vector<int> vote(hi - lo, 0);
+    for (size_t i = 0; i < n; ++i) {
+      const float* row = uploads.Row(i);
+      for (size_t j = lo; j < hi; ++j) {
+        // 1 for non-negative, -1 for negative (paper §3.2's description
+        // of the sign-compression family).
+        vote[j - lo] += (row[j] >= 0.0f) ? 1 : -1;
+      }
     }
-    out[j] = static_cast<float>(scale * (vote > 0 ? 1.0 : (vote < 0 ? -1.0
-                                                                    : 0.0)));
-  }
+    for (size_t j = lo; j < hi; ++j) {
+      int v = vote[j - lo];
+      out[j] =
+          static_cast<float>(scale * (v > 0 ? 1.0 : (v < 0 ? -1.0 : 0.0)));
+    }
+  });
   return out;
 }
 

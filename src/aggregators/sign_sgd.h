@@ -20,10 +20,11 @@ class SignSgdAggregator : public Aggregator {
   /// vector), keeping the step size comparable with gradient aggregates.
   explicit SignSgdAggregator(double scale = -1.0) : scale_(scale) {}
 
+  using Aggregator::Aggregate;
+
   std::string name() const override { return "sign_sgd_majority"; }
   Result<std::vector<float>> Aggregate(
-      const std::vector<std::vector<float>>& uploads,
-      const AggregationContext& ctx) override;
+      RowSpan uploads, const AggregationContext& ctx) override;
 
  private:
   double scale_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "aggregators/median.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 
@@ -16,21 +17,26 @@ TrimmedMeanAggregator::TrimmedMeanAggregator(double trim_fraction)
 }
 
 Result<std::vector<float>> TrimmedMeanAggregator::Aggregate(
-    const std::vector<std::vector<float>>& uploads,
-    const AggregationContext& ctx) {
+    RowSpan uploads, const AggregationContext& ctx) {
   DPBR_RETURN_NOT_OK(ValidateUploads(uploads, ctx));
-  size_t n = uploads.size();
+  size_t n = uploads.rows;
   size_t k = static_cast<size_t>(std::floor(trim_fraction_ *
                                             static_cast<double>(n)));
   if (2 * k >= n) k = (n - 1) / 2;
   std::vector<float> out(ctx.dim);
-  // Coordinates are independent; block them so each task amortizes its
-  // column scratch buffer over many sorts.
-  ParallelForBlocked(ctx.dim, 1024, [&](size_t lo, size_t hi) {
-    std::vector<float> column(n);
+  // Chunked column-major tiles (see median.cc): gather `width` contiguous
+  // columns into scratch, then sort and trim each column independently.
+  size_t width = SelectionTileWidth(n);
+  ParallelForBlocked(ctx.dim, width, [&](size_t lo, size_t hi) {
+    size_t cols = hi - lo;
+    std::vector<float> tile(cols * n);
+    for (size_t i = 0; i < n; ++i) {
+      const float* row = uploads.Row(i);
+      for (size_t j = lo; j < hi; ++j) tile[(j - lo) * n + i] = row[j];
+    }
     for (size_t j = lo; j < hi; ++j) {
-      for (size_t i = 0; i < n; ++i) column[i] = uploads[i][j];
-      std::sort(column.begin(), column.end());
+      float* column = tile.data() + (j - lo) * n;
+      std::sort(column, column + n);
       double s = 0.0;
       for (size_t i = k; i < n - k; ++i) s += column[i];
       out[j] = static_cast<float>(s / static_cast<double>(n - 2 * k));

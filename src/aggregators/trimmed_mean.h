@@ -12,15 +12,17 @@ namespace agg {
 
 /// Averages each coordinate after discarding the k largest and k smallest
 /// values, with k = floor(trim_fraction · n) (clamped so at least one
-/// value survives).
+/// value survives). Streams over the arena in column-major tiles like
+/// CoordinateMedianAggregator (see median.h).
 class TrimmedMeanAggregator : public Aggregator {
  public:
   explicit TrimmedMeanAggregator(double trim_fraction = 0.2);
 
+  using Aggregator::Aggregate;
+
   std::string name() const override { return "trimmed_mean"; }
   Result<std::vector<float>> Aggregate(
-      const std::vector<std::vector<float>>& uploads,
-      const AggregationContext& ctx) override;
+      RowSpan uploads, const AggregationContext& ctx) override;
 
  private:
   double trim_fraction_;

@@ -3,19 +3,18 @@
 #include <algorithm>
 #include <cmath>
 
+#include "attacks/attacks_common.h"
 #include "common/logging.h"
 #include "stats/distributions.h"
 
 namespace dpbr {
 namespace attacks {
 
-std::vector<std::vector<float>> ALittleAttack::Forge(
-    const fl::AttackContext& ctx, size_t num_byzantine) {
-  DPBR_CHECK(ctx.honest_uploads != nullptr);
-  const auto& honest = *ctx.honest_uploads;
+void ALittleAttack::ForgeInto(const fl::AttackContext& ctx, RowSpan out) {
+  ConstRowSpan honest = ctx.honest_uploads;
   DPBR_CHECK(!honest.empty());
-  size_t bm = honest.size();
-  size_t n = bm + num_byzantine;
+  size_t bm = honest.rows;
+  size_t n = bm + out.rows;
 
   double z;
   if (z_override_ > 0.0) {
@@ -23,7 +22,7 @@ std::vector<std::vector<float>> ALittleAttack::Forge(
   } else {
     // Baruch et al.: s = ⌊n/2 + 1⌋ − m supporters needed for a corrupted
     // majority; z_max = Φ⁻¹((n − m − s)/(n − m)).
-    double m = static_cast<double>(num_byzantine);
+    double m = static_cast<double>(out.rows);
     double s =
         std::floor(static_cast<double>(n) / 2.0 + 1.0) - m;
     double frac = (static_cast<double>(n) - m - s) /
@@ -35,11 +34,13 @@ std::vector<std::vector<float>> ALittleAttack::Forge(
 
   // Benign per-coordinate mean and std.
   std::vector<double> mean(ctx.dim, 0.0), var(ctx.dim, 0.0);
-  for (const auto& u : honest) {
+  for (size_t i = 0; i < bm; ++i) {
+    const float* u = honest.Row(i);
     for (size_t k = 0; k < ctx.dim; ++k) mean[k] += u[k];
   }
   for (auto& v : mean) v /= static_cast<double>(bm);
-  for (const auto& u : honest) {
+  for (size_t i = 0; i < bm; ++i) {
+    const float* u = honest.Row(i);
     for (size_t k = 0; k < ctx.dim; ++k) {
       double d = u[k] - mean[k];
       var[k] += d * d;
@@ -52,7 +53,7 @@ std::vector<std::vector<float>> ALittleAttack::Forge(
     double sd = std::sqrt(var[k] / denom);
     forged[k] = static_cast<float>(mean[k] - z * sd);
   }
-  return std::vector<std::vector<float>>(num_byzantine, forged);
+  ReplicateRow(forged.data(), out);
 }
 
 }  // namespace attacks

@@ -21,8 +21,7 @@ class ALittleAttack : public fl::Attack {
   explicit ALittleAttack(double z_override = -1.0) : z_override_(z_override) {}
 
   std::string name() const override { return "a_little"; }
-  std::vector<std::vector<float>> Forge(const fl::AttackContext& ctx,
-                                        size_t num_byzantine) override;
+  void ForgeInto(const fl::AttackContext& ctx, RowSpan out) override;
 
  private:
   double z_override_;

@@ -1,6 +1,7 @@
 #include "attacks/adaptive.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "common/logging.h"
 
@@ -22,23 +23,21 @@ bool AdaptiveAttack::wants_poisoned_uploads() const {
   return inner_->wants_poisoned_uploads();
 }
 
-std::vector<std::vector<float>> AdaptiveAttack::Forge(
-    const fl::AttackContext& ctx, size_t num_byzantine) {
+void AdaptiveAttack::ForgeInto(const fl::AttackContext& ctx, RowSpan out) {
   double switch_round = ttbb_ * static_cast<double>(ctx.total_rounds);
   if (static_cast<double>(ctx.round) > switch_round) {
-    return inner_->Forge(ctx, num_byzantine);
+    inner_->ForgeInto(ctx, out);
+    return;
   }
   // Camouflage phase: each Byzantine worker replays a random honest
   // worker's upload of this round (indistinguishable from honest).
-  DPBR_CHECK(ctx.honest_uploads != nullptr);
-  const auto& honest = *ctx.honest_uploads;
+  ConstRowSpan honest = ctx.honest_uploads;
   DPBR_CHECK(!honest.empty());
   DPBR_CHECK(ctx.rng != nullptr);
-  std::vector<std::vector<float>> out(num_byzantine);
-  for (size_t b = 0; b < num_byzantine; ++b) {
-    out[b] = honest[ctx.rng->UniformInt(honest.size())];
+  for (size_t b = 0; b < out.rows; ++b) {
+    std::memcpy(out.Row(b), honest.Row(ctx.rng->UniformInt(honest.rows)),
+                out.dim * sizeof(float));
   }
-  return out;
 }
 
 }  // namespace attacks

@@ -21,8 +21,7 @@ class AdaptiveAttack : public fl::Attack {
 
   std::string name() const override;
   bool wants_poisoned_uploads() const override;
-  std::vector<std::vector<float>> Forge(const fl::AttackContext& ctx,
-                                        size_t num_byzantine) override;
+  void ForgeInto(const fl::AttackContext& ctx, RowSpan out) override;
 
  private:
   fl::AttackPtr inner_;

@@ -4,6 +4,8 @@
 
 #include "attacks/attacks_common.h"
 
+#include <cstring>
+
 #include "common/logging.h"
 #include "tensor/ops.h"
 
@@ -11,14 +13,19 @@ namespace dpbr {
 namespace attacks {
 
 std::vector<float> SumOfHonestUploads(const fl::AttackContext& ctx) {
-  DPBR_CHECK(ctx.honest_uploads != nullptr);
-  DPBR_CHECK(!ctx.honest_uploads->empty());
+  DPBR_CHECK(!ctx.honest_uploads.empty());
+  DPBR_CHECK_EQ(ctx.honest_uploads.dim, ctx.dim);
   std::vector<float> sum(ctx.dim, 0.0f);
-  for (const auto& u : *ctx.honest_uploads) {
-    DPBR_CHECK_EQ(u.size(), ctx.dim);
-    ops::Axpy(1.0f, u.data(), sum.data(), ctx.dim);
+  for (size_t i = 0; i < ctx.honest_uploads.rows; ++i) {
+    ops::Axpy(1.0f, ctx.honest_uploads.Row(i), sum.data(), ctx.dim);
   }
   return sum;
+}
+
+void ReplicateRow(const float* src, RowSpan out) {
+  for (size_t b = 0; b < out.rows; ++b) {
+    std::memcpy(out.Row(b), src, out.dim * sizeof(float));
+  }
 }
 
 }  // namespace attacks

@@ -14,6 +14,11 @@ namespace attacks {
 /// compute this; OptLMP and "A little" build on it).
 std::vector<float> SumOfHonestUploads(const fl::AttackContext& ctx);
 
+/// Writes the single forged vector `src` (length out.dim) into every row
+/// of `out` — the common "all Byzantine workers collude on one upload"
+/// shape.
+void ReplicateRow(const float* src, RowSpan out);
+
 }  // namespace attacks
 }  // namespace dpbr
 

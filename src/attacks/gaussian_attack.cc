@@ -5,18 +5,14 @@
 namespace dpbr {
 namespace attacks {
 
-std::vector<std::vector<float>> GaussianAttack::Forge(
-    const fl::AttackContext& ctx, size_t num_byzantine) {
+void GaussianAttack::ForgeInto(const fl::AttackContext& ctx, RowSpan out) {
   DPBR_CHECK(ctx.rng != nullptr);
   double stddev =
       ctx.sigma_upload > 0.0 ? scale_ * ctx.sigma_upload : scale_;
-  std::vector<std::vector<float>> out(num_byzantine);
-  for (size_t b = 0; b < num_byzantine; ++b) {
+  for (size_t b = 0; b < out.rows; ++b) {
     SplitRng rng = ctx.rng->Split(b);
-    out[b].resize(ctx.dim);
-    rng.FillGaussian(out[b].data(), ctx.dim, stddev);
+    rng.FillGaussian(out.Row(b), out.dim, stddev);
   }
-  return out;
 }
 
 }  // namespace attacks

@@ -22,8 +22,7 @@ class GaussianAttack : public fl::Attack {
   explicit GaussianAttack(double scale = 1.0) : scale_(scale) {}
 
   std::string name() const override { return "gaussian"; }
-  std::vector<std::vector<float>> Forge(const fl::AttackContext& ctx,
-                                        size_t num_byzantine) override;
+  void ForgeInto(const fl::AttackContext& ctx, RowSpan out) override;
 
  private:
   double scale_;

@@ -7,13 +7,12 @@
 namespace dpbr {
 namespace attacks {
 
-std::vector<std::vector<float>> InnerProductAttack::Forge(
-    const fl::AttackContext& ctx, size_t num_byzantine) {
-  DPBR_CHECK(ctx.honest_uploads != nullptr);
-  double bm = static_cast<double>(ctx.honest_uploads->size());
+void InnerProductAttack::ForgeInto(const fl::AttackContext& ctx,
+                                   RowSpan out) {
+  double bm = static_cast<double>(ctx.honest_uploads.rows);
   std::vector<float> forged = ops::Scaled(
       SumOfHonestUploads(ctx), static_cast<float>(-scale_ / bm));
-  return std::vector<std::vector<float>>(num_byzantine, forged);
+  ReplicateRow(forged.data(), out);
 }
 
 }  // namespace attacks

@@ -18,8 +18,7 @@ class InnerProductAttack : public fl::Attack {
   explicit InnerProductAttack(double scale = 1.0) : scale_(scale) {}
 
   std::string name() const override { return "inner_product"; }
-  std::vector<std::vector<float>> Forge(const fl::AttackContext& ctx,
-                                        size_t num_byzantine) override;
+  void ForgeInto(const fl::AttackContext& ctx, RowSpan out) override;
 
  private:
   double scale_;

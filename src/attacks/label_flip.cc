@@ -1,15 +1,19 @@
 #include "attacks/label_flip.h"
 
+#include <cstring>
+
 #include "common/logging.h"
 
 namespace dpbr {
 namespace attacks {
 
-std::vector<std::vector<float>> LabelFlipAttack::Forge(
-    const fl::AttackContext& ctx, size_t num_byzantine) {
-  DPBR_CHECK(ctx.poisoned_uploads != nullptr);
-  DPBR_CHECK_EQ(ctx.poisoned_uploads->size(), num_byzantine);
-  return *ctx.poisoned_uploads;
+void LabelFlipAttack::ForgeInto(const fl::AttackContext& ctx, RowSpan out) {
+  DPBR_CHECK_EQ(ctx.poisoned_uploads.rows, out.rows);
+  DPBR_CHECK_EQ(ctx.poisoned_uploads.dim, out.dim);
+  for (size_t b = 0; b < out.rows; ++b) {
+    std::memcpy(out.Row(b), ctx.poisoned_uploads.Row(b),
+                out.dim * sizeof(float));
+  }
 }
 
 }  // namespace attacks

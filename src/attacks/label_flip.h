@@ -18,8 +18,7 @@ class LabelFlipAttack : public fl::Attack {
  public:
   std::string name() const override { return "label_flip"; }
   bool wants_poisoned_uploads() const override { return true; }
-  std::vector<std::vector<float>> Forge(const fl::AttackContext& ctx,
-                                        size_t num_byzantine) override;
+  void ForgeInto(const fl::AttackContext& ctx, RowSpan out) override;
 };
 
 }  // namespace attacks

@@ -9,11 +9,9 @@
 namespace dpbr {
 namespace attacks {
 
-std::vector<std::vector<float>> OptLmpAttack::Forge(
-    const fl::AttackContext& ctx, size_t num_byzantine) {
-  DPBR_CHECK(ctx.honest_uploads != nullptr);
-  double bm = static_cast<double>(ctx.honest_uploads->size());
-  double mn = static_cast<double>(num_byzantine);
+void OptLmpAttack::ForgeInto(const fl::AttackContext& ctx, RowSpan out) {
+  double bm = static_cast<double>(ctx.honest_uploads.rows);
+  double mn = static_cast<double>(out.rows);
   std::vector<float> benign_sum = SumOfHonestUploads(ctx);
 
   // λ = M_n/√B_m − 1; the attack only exists for M_n > √B_m (Eq. 10).
@@ -25,7 +23,7 @@ std::vector<std::vector<float>> OptLmpAttack::Forge(
   float coef = static_cast<float>(-(1.0 + lambda) / mn);
 
   std::vector<float> forged = ops::Scaled(benign_sum, coef);
-  return std::vector<std::vector<float>>(num_byzantine, forged);
+  ReplicateRow(forged.data(), out);
 }
 
 }  // namespace attacks

@@ -21,8 +21,7 @@ namespace attacks {
 class OptLmpAttack : public fl::Attack {
  public:
   std::string name() const override { return "opt_lmp"; }
-  std::vector<std::vector<float>> Forge(const fl::AttackContext& ctx,
-                                        size_t num_byzantine) override;
+  void ForgeInto(const fl::AttackContext& ctx, RowSpan out) override;
 };
 
 }  // namespace attacks

@@ -1,0 +1,70 @@
+// Non-owning row-matrix views over contiguous float storage.
+//
+// The federated round moves n client uploads of dimension d through the
+// system as ONE `n x d` row-major block (see fl::UploadArena): workers
+// write their row in place, attacks forge into reserved rows, and the
+// server hands the aggregators a view of the block instead of n separate
+// vectors. These two span types are that view. They live in common/ so
+// the aggregator interface (src/aggregators) and the FL layer (src/fl)
+// can share them without a dependency cycle.
+
+#ifndef DPBR_COMMON_SPAN_H_
+#define DPBR_COMMON_SPAN_H_
+
+#include <cstddef>
+
+namespace dpbr {
+
+/// Read-only view of `rows` contiguous row-major vectors of length `dim`.
+/// Row i occupies [data + i*dim, data + (i+1)*dim). The view owns
+/// nothing; the backing block must outlive it.
+struct ConstRowSpan {
+  const float* data = nullptr;
+  size_t rows = 0;
+  size_t dim = 0;
+
+  ConstRowSpan() = default;
+  ConstRowSpan(const float* data_in, size_t rows_in, size_t dim_in)
+      : data(data_in), rows(rows_in), dim(dim_in) {}
+
+  /// Pointer to row i (i < rows).
+  const float* Row(size_t i) const { return data + i * dim; }
+  bool empty() const { return rows == 0; }
+  /// Total number of floats spanned (rows * dim).
+  size_t size() const { return rows * dim; }
+
+  /// Sub-view of rows [lo, hi) sharing the same storage.
+  ConstRowSpan Slice(size_t lo, size_t hi) const {
+    return ConstRowSpan(data + lo * dim, hi - lo, dim);
+  }
+};
+
+/// Mutable counterpart of ConstRowSpan. Holders may rewrite rows in
+/// place (the sanitize pass and the first-stage filter zero rejected
+/// rows; attacks forge into their reserved rows) — see
+/// docs/architecture.md for the arena ownership rules.
+struct RowSpan {
+  float* data = nullptr;
+  size_t rows = 0;
+  size_t dim = 0;
+
+  RowSpan() = default;
+  RowSpan(float* data_in, size_t rows_in, size_t dim_in)
+      : data(data_in), rows(rows_in), dim(dim_in) {}
+
+  float* Row(size_t i) const { return data + i * dim; }
+  bool empty() const { return rows == 0; }
+  size_t size() const { return rows * dim; }
+
+  /// A mutable span converts freely to a read-only one.
+  operator ConstRowSpan() const { return ConstRowSpan(data, rows, dim); }
+
+  /// Sub-view of rows [lo, hi) sharing the same storage.
+  RowSpan Slice(size_t lo, size_t hi) const {
+    return RowSpan(data + lo * dim, hi - lo, dim);
+  }
+};
+
+}  // namespace dpbr
+
+#endif  // DPBR_COMMON_SPAN_H_

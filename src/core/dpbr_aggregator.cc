@@ -13,16 +13,15 @@ DpbrAggregator::DpbrAggregator(const ProtocolOptions& options)
     : options_(options), first_stage_(options) {}
 
 Result<std::vector<float>> DpbrAggregator::Aggregate(
-    const std::vector<std::vector<float>>& uploads,
-    const agg::AggregationContext& ctx) {
+    RowSpan uploads, const agg::AggregationContext& ctx) {
   DPBR_RETURN_NOT_OK(agg::ValidateUploads(uploads, ctx));
-  size_t n = uploads.size();
+  size_t n = uploads.rows;
   diag_ = DpbrRoundDiagnostics{};
 
-  // --- Stage 1 (Algorithm 2): statistical filtering. Rejected uploads are
-  // zeroed, exactly as FirstAGG outputs g ← 0. The stage requires a known
-  // DP noise level; without DP there is no reference distribution.
-  std::vector<std::vector<float>> filtered = uploads;
+  // --- Stage 1 (Algorithm 2): statistical filtering. Rejected rows are
+  // zeroed in place, exactly as FirstAGG outputs g ← 0 — no copy of the
+  // arena is taken. The stage requires a known DP noise level; without DP
+  // there is no reference distribution.
   diag_.first_stage_passed.assign(n, true);
   if (options_.enable_first_stage) {
     if (ctx.sigma_upload <= 0.0) {
@@ -31,15 +30,16 @@ Result<std::vector<float>> DpbrAggregator::Aggregate(
           "disable the stage explicitly for non-DP runs");
     }
     std::vector<FirstStageVerdict> verdicts =
-        first_stage_.Apply(&filtered, ctx.sigma_upload, &diag_.first_stage);
+        first_stage_.Apply(uploads, ctx.sigma_upload, &diag_.first_stage);
     for (size_t i = 0; i < n; ++i) {
       diag_.first_stage_passed[i] = verdicts[i].accepted();
     }
   }
 
   // --- Stage 2 (Algorithm 3): inner-product selection with cumulative
-  // scores. Falls back to "select everything that passed stage 1" when
-  // disabled (first-stage-only ablation).
+  // scores (keyed on ctx.client_ids for subsampled cohorts). Falls back
+  // to "select everything that passed stage 1" when disabled
+  // (first-stage-only ablation).
   std::vector<size_t> selected;
   if (options_.enable_second_stage) {
     if (ctx.server_gradient == nullptr) {
@@ -47,8 +47,9 @@ Result<std::vector<float>> DpbrAggregator::Aggregate(
           "second-stage aggregation needs ctx.server_gradient");
     }
     DPBR_ASSIGN_OR_RETURN(
-        selected, second_stage_.SelectWorkers(filtered, *ctx.server_gradient,
-                                              ctx.gamma));
+        selected,
+        second_stage_.SelectWorkers(uploads, *ctx.server_gradient, ctx.gamma,
+                                    ctx.client_ids));
   } else {
     for (size_t i = 0; i < n; ++i) {
       if (diag_.first_stage_passed[i]) selected.push_back(i);
@@ -63,7 +64,7 @@ Result<std::vector<float>> DpbrAggregator::Aggregate(
   // order, so the sum is bit-identical under any pool size.
   ParallelForBlocked(ctx.dim, 4096, [&](size_t lo, size_t hi) {
     for (size_t idx : selected) {
-      ops::Axpy(1.0f, filtered[idx].data() + lo, out.data() + lo, hi - lo);
+      ops::Axpy(1.0f, uploads.Row(idx) + lo, out.data() + lo, hi - lo);
     }
   });
   double denom = options_.update_scale == UpdateScale::kOverTotal

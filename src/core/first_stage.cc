@@ -30,24 +30,59 @@ std::pair<double, double> FirstStageFilter::NormWindow(
   return {std::max(lo, 0.0), hi};
 }
 
-FirstStageVerdict FirstStageFilter::Test(const std::vector<float>& upload,
+FirstStageVerdict FirstStageFilter::Test(const float* upload, size_t d,
                                          double sigma_upload) const {
   DPBR_CHECK_GT(sigma_upload, 0.0);
-  DPBR_CHECK(!upload.empty());
+  DPBR_CHECK_GT(d, 0u);
   FirstStageVerdict v;
-  double sq = ops::SquaredNorm(upload.data(), upload.size());
+  double sq = ops::SquaredNorm(upload, d);
   v.norm = std::sqrt(sq);
-  auto [lo, hi] = NormWindow(upload.size(), sigma_upload);
+  auto [lo, hi] = NormWindow(d, sigma_upload);
   v.passed_norm = (sq >= lo && sq <= hi);
 
   // The KS test is the costlier check; Algorithm 2 applies both, and we
   // keep the p-value for diagnostics even when the norm test already
   // failed.
-  stats::KsResult ks =
-      stats::KsTestGaussian(upload.data(), upload.size(), sigma_upload);
+  stats::KsResult ks = stats::KsTestGaussian(upload, d, sigma_upload);
   v.ks_p_value = ks.p_value;
   v.passed_ks = ks.p_value >= options_.ks_significance;
   return v;
+}
+
+FirstStageVerdict FirstStageFilter::Test(const std::vector<float>& upload,
+                                         double sigma_upload) const {
+  DPBR_CHECK(!upload.empty());
+  return Test(upload.data(), upload.size(), sigma_upload);
+}
+
+std::vector<FirstStageVerdict> FirstStageFilter::Apply(
+    RowSpan uploads, double sigma_upload, FirstStageReport* report) const {
+  std::vector<FirstStageVerdict> verdicts(uploads.rows);
+  FirstStageReport rep;
+  rep.total = uploads.rows;
+  // Each row's norm + KS test (the per-round validation hot path) is
+  // independent; the report tallies are folded afterwards in index order.
+  ParallelFor(0, uploads.rows, [&](size_t i) {
+    float* row = uploads.Row(i);
+    verdicts[i] = Test(row, uploads.dim, sigma_upload);
+    if (!verdicts[i].accepted()) {
+      // Algorithm 2: g ← 0.
+      std::fill(row, row + uploads.dim, 0.0f);
+    }
+  });
+  for (size_t i = 0; i < uploads.rows; ++i) {
+    if (!verdicts[i].accepted()) {
+      if (!verdicts[i].passed_norm) {
+        ++rep.rejected_norm;
+      } else {
+        ++rep.rejected_ks;
+      }
+    } else {
+      ++rep.accepted;
+    }
+  }
+  if (report != nullptr) *report = rep;
+  return verdicts;
 }
 
 std::vector<FirstStageVerdict> FirstStageFilter::Apply(
@@ -57,12 +92,9 @@ std::vector<FirstStageVerdict> FirstStageFilter::Apply(
   std::vector<FirstStageVerdict> verdicts(uploads->size());
   FirstStageReport rep;
   rep.total = uploads->size();
-  // Each upload's norm + KS test (the per-round validation hot path) is
-  // independent; the report tallies are folded afterwards in index order.
   ParallelFor(0, uploads->size(), [&](size_t i) {
     verdicts[i] = Test((*uploads)[i], sigma_upload);
     if (!verdicts[i].accepted()) {
-      // Algorithm 2: g ← 0.
       std::fill((*uploads)[i].begin(), (*uploads)[i].end(), 0.0f);
     }
   });

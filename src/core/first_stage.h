@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/span.h"
 #include "core/protocol_options.h"
 
 namespace dpbr {
@@ -43,13 +44,20 @@ class FirstStageFilter {
   /// The norm-test acceptance window on ‖g‖² for dimension d.
   std::pair<double, double> NormWindow(size_t d, double sigma_upload) const;
 
-  /// Tests a single upload without modifying it.
+  /// Tests a single upload (d coordinates) without modifying it.
+  FirstStageVerdict Test(const float* upload, size_t d,
+                         double sigma_upload) const;
   FirstStageVerdict Test(const std::vector<float>& upload,
                          double sigma_upload) const;
 
-  /// Algorithm 2 applied to every upload: rejected uploads are zeroed in
-  /// place. Returns per-upload verdicts; `report` (optional) receives the
-  /// aggregate counters.
+  /// Algorithm 2 applied to every row of the upload arena: rejected rows
+  /// are zeroed in place (g ← 0). Returns per-row verdicts; `report`
+  /// (optional) receives the aggregate counters.
+  std::vector<FirstStageVerdict> Apply(
+      RowSpan uploads, double sigma_upload,
+      FirstStageReport* report = nullptr) const;
+
+  /// Legacy vector-of-vectors form of Apply (same zeroing semantics).
   std::vector<FirstStageVerdict> Apply(
       std::vector<std::vector<float>>* uploads, double sigma_upload,
       FirstStageReport* report = nullptr) const;

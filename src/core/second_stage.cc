@@ -11,23 +11,38 @@ namespace dpbr {
 namespace core {
 
 Result<std::vector<size_t>> SecondStageAggregator::SelectWorkers(
-    const std::vector<std::vector<float>>& uploads,
-    const std::vector<float>& server_gradient, double gamma) {
-  size_t n = uploads.size();
+    ConstRowSpan uploads, const std::vector<float>& server_gradient,
+    double gamma, const std::vector<int>* client_ids) {
+  size_t n = uploads.rows;
   if (n == 0) return Status::InvalidArgument("no uploads");
   if (server_gradient.empty()) {
     return Status::InvalidArgument("empty server gradient");
   }
-  for (const auto& u : uploads) {
-    if (u.size() != server_gradient.size()) {
-      return Status::InvalidArgument("upload/server gradient size mismatch");
-    }
+  if (uploads.dim != server_gradient.size()) {
+    return Status::InvalidArgument("upload/server gradient size mismatch");
   }
-  if (scores_.empty()) {
-    scores_.assign(n, 0.0);
-  } else if (scores_.size() != n) {
-    return Status::FailedPrecondition(
-        "worker count changed mid-training; call Reset() first");
+  if (client_ids == nullptr) {
+    // Fixed cohort: position == id, worker count pinned between Resets.
+    if (scores_.empty()) {
+      scores_.assign(n, 0.0);
+    } else if (scores_.size() != n) {
+      return Status::FailedPrecondition(
+          "worker count changed mid-training; call Reset() first (or pass "
+          "client_ids for subsampled cohorts)");
+    }
+  } else {
+    if (client_ids->size() != n) {
+      return Status::InvalidArgument("client_ids size mismatch");
+    }
+    int max_id = 0;
+    for (int id : *client_ids) {
+      if (id < 0) return Status::InvalidArgument("negative client id");
+      max_id = std::max(max_id, id);
+    }
+    // Grow-only: a subsampled round only touches its cohort's slots.
+    if (scores_.size() < static_cast<size_t>(max_id) + 1) {
+      scores_.resize(static_cast<size_t>(max_id) + 1, 0.0);
+    }
   }
 
   // Lines 5-8: S_tmp[i] = ⟨g_i, g_s⟩. Each inner product is an
@@ -35,7 +50,8 @@ Result<std::vector<size_t>> SecondStageAggregator::SelectWorkers(
   // under any pool size.
   last_scores_.assign(n, 0.0);
   ParallelFor(0, n, [&](size_t i) {
-    last_scores_[i] = ops::Dot(uploads[i], server_gradient);
+    last_scores_[i] =
+        ops::Dot(uploads.Row(i), server_gradient.data(), uploads.dim);
   });
 
   // Line 9: μ̂ = mean of the top ⌈γn⌉ round scores.
@@ -48,21 +64,47 @@ Result<std::vector<size_t>> SecondStageAggregator::SelectWorkers(
   for (size_t i = 0; i < k; ++i) mu_hat += sorted[i];
   mu_hat /= static_cast<double>(k);
 
-  // Lines 10-13: suppress below-threshold scores, accumulate into S.
+  // Lines 10-13: suppress below-threshold scores, accumulate into S
+  // under the row's stable id.
+  auto id_of = [&](size_t i) {
+    return client_ids == nullptr ? i
+                                 : static_cast<size_t>((*client_ids)[i]);
+  };
   for (size_t i = 0; i < n; ++i) {
     double s = last_scores_[i] < mu_hat ? 0.0 : last_scores_[i];
-    scores_[i] += s;
+    scores_[id_of(i)] += s;
   }
 
-  // Line 14: pick the top ⌈γn⌉ *cumulative* scores (ties: lower index).
+  // Line 14: pick the top ⌈γn⌉ *cumulative* scores among this round's
+  // rows (ties: lower position).
   std::vector<size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b) {
-    return scores_[a] > scores_[b];
-  });
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) {
+                     return scores_[id_of(a)] > scores_[id_of(b)];
+                   });
   order.resize(k);
   std::sort(order.begin(), order.end());
   return order;
+}
+
+Result<std::vector<size_t>> SecondStageAggregator::SelectWorkers(
+    const std::vector<std::vector<float>>& uploads,
+    const std::vector<float>& server_gradient, double gamma) {
+  if (uploads.empty()) return Status::InvalidArgument("no uploads");
+  size_t dim = uploads[0].size();
+  for (const auto& u : uploads) {
+    if (u.size() != server_gradient.size()) {
+      return Status::InvalidArgument("upload/server gradient size mismatch");
+    }
+  }
+  std::vector<float> packed(uploads.size() * dim);
+  for (size_t i = 0; i < uploads.size(); ++i) {
+    std::copy(uploads[i].begin(), uploads[i].end(),
+              packed.begin() + static_cast<ptrdiff_t>(i * dim));
+  }
+  return SelectWorkers(ConstRowSpan(packed.data(), uploads.size(), dim),
+                       server_gradient, gamma);
 }
 
 void SecondStageAggregator::Reset() {

@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "common/span.h"
 #include "common/status.h"
 
 namespace dpbr {
@@ -21,19 +22,31 @@ class SecondStageAggregator {
  public:
   SecondStageAggregator() = default;
 
-  /// Runs one round of Algorithm 3 lines 5-14 and returns the indices of
-  /// the selected uploads G_s (size ⌈γn⌉). The internal score list S is
-  /// sized on first use and persists across rounds; the worker count must
-  /// stay constant between Reset() calls.
+  /// Runs one round of Algorithm 3 lines 5-14 and returns the *positions
+  /// within the span* of the selected uploads G_s (size ⌈γn⌉).
+  ///
+  /// The cumulative score list S persists across rounds. When
+  /// `client_ids` is null, position == client id and the worker count
+  /// must stay constant between Reset() calls (the fixed-cohort
+  /// contract). With `client_ids` (one stable global id per row, as set
+  /// by the trainer under Poisson subsampling) S is keyed on the id, so
+  /// scores survive changing per-round cohorts; S grows to the largest
+  /// id seen.
+  Result<std::vector<size_t>> SelectWorkers(
+      ConstRowSpan uploads, const std::vector<float>& server_gradient,
+      double gamma, const std::vector<int>* client_ids = nullptr);
+
+  /// Legacy vector-of-vectors convenience (fixed cohort only).
   Result<std::vector<size_t>> SelectWorkers(
       const std::vector<std::vector<float>>& uploads,
       const std::vector<float>& server_gradient, double gamma);
 
-  /// Cumulative score list S (empty before the first round).
+  /// Cumulative score list S, indexed by client id (== span position for
+  /// fixed cohorts). Empty before the first round.
   const std::vector<double>& cumulative_scores() const { return scores_; }
 
   /// Per-round scores ⟨g_i, g_s⟩ from the last SelectWorkers call
-  /// (pre-thresholding), for diagnostics.
+  /// (pre-thresholding, indexed by span position), for diagnostics.
   const std::vector<double>& last_round_scores() const {
     return last_scores_;
   }
@@ -42,7 +55,7 @@ class SecondStageAggregator {
   void Reset();
 
  private:
-  std::vector<double> scores_;       // S
+  std::vector<double> scores_;       // S, indexed by client id
   std::vector<double> last_scores_;  // S_tmp before thresholding
 };
 

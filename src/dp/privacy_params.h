@@ -1,9 +1,11 @@
 // Derivation of all privacy-related constants for one worker's training
 // run, mirroring the paper's experimental setup:
-//   q  = bc / |D|                      (Poisson-style sampling rate)
-//   T  = epochs * |D| / bc             (iterations)
+//   q  = bc / |D|                      (record-level sampling rate)
+//   q_c ∈ (0, 1]                       (client-level per-round rate)
+//   T  = epochs * |D| / (bc · q_c)     (rounds; q_c = 1 ⇒ legacy count)
 //   δ  = 1 / |D|^1.1                   (paper §6.1)
-//   σ_mult = NoiseMultiplierFor(q, T, ε, δ)   (sensitivity-1 units)
+//   σ_mult = NoiseMultiplierForClientSubsampled(q_c, q, T, ε, δ)
+//            (sensitivity-1 units; effective per-round rate q_c·q)
 //   σ  = Δ · σ_mult with Δ = 2         (ℓ2-sensitivity of Σ_j φ_j/‖φ_j‖)
 //   σ_up = σ / bc                      (per-coordinate std of the upload)
 
@@ -28,17 +30,24 @@ struct PrivacySpec {
   int batch_size = 16;    ///< bc
   int epochs = 8;         ///< training epochs (paper uses 8 or 10)
   double delta = -1.0;    ///< target δ; < 0 derives 1/|D|^1.1
+  /// Per-round client Poisson participation rate q_c ∈ (0, 1]. When < 1,
+  /// rounds are charged at the amplified effective rate q_c·q and the
+  /// round count T scales by 1/q_c so each client still makes ~epochs
+  /// passes over its shard in expectation. 1 (the default) is the paper's
+  /// full-participation protocol, bit-for-bit.
+  double client_sampling_rate = 1.0;
 };
 
 /// All derived constants.
 struct PrivacyParams {
   double epsilon = 0.0;
   double delta = 0.0;
-  double sampling_rate = 0.0;     ///< q
-  int steps = 0;                  ///< T
-  double noise_multiplier = 0.0;  ///< σ_mult (sensitivity-1)
-  double sigma = 0.0;             ///< σ added to the normalized sum
-  double sigma_upload = 0.0;      ///< σ/bc: per-coordinate upload std
+  double sampling_rate = 0.0;        ///< q (record-level)
+  double client_sampling_rate = 1.0; ///< q_c (client-level, per round)
+  int steps = 0;                     ///< T
+  double noise_multiplier = 0.0;     ///< σ_mult (sensitivity-1)
+  double sigma = 0.0;                ///< σ added to the normalized sum
+  double sigma_upload = 0.0;         ///< σ/bc: per-coordinate upload std
   bool dp_enabled = true;
 
   std::string ToString() const;

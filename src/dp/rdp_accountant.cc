@@ -5,7 +5,6 @@
 #include <limits>
 
 #include "common/logging.h"
-#include "stats/distributions.h"
 
 namespace dpbr {
 namespace dp {
@@ -44,22 +43,6 @@ double LogErfc(double x) {
          std::log1p(-1.0 / (2.0 * x2) + 3.0 / (4.0 * x2 * x2));
 }
 
-// log |binom(alpha, i)| for real alpha >= 1 with explicit sign tracking:
-//   binom(α, i) = Π_{k=0}^{i-1} (α - k) / i!.
-// The product form sidesteps Gamma poles for fractional α with i > α and
-// is exact for the integer-α path (where all factors are positive).
-double LogAbsBinom(double alpha, int i, int* sign) {
-  *sign = 1;
-  double log_abs = 0.0;
-  for (int k = 0; k < i; ++k) {
-    double f = alpha - static_cast<double>(k);
-    if (f < 0.0) *sign = -*sign;
-    log_abs += std::log(std::fabs(f));  // f == 0 => -inf => vanishing term
-  }
-  log_abs -= stats::LogGamma(static_cast<double>(i) + 1.0);
-  return log_abs;
-}
-
 // log A(α) for integer α >= 2 (Mironov et al. 2019, eq. for integer
 // orders): A = Σ_{i=0}^{α} C(α,i) (1-q)^{α-i} q^i exp(i(i-1)/(2σ²)).
 // The binomial coefficient is carried incrementally —
@@ -94,10 +77,14 @@ double LogAFrac(double q, double sigma, double alpha) {
   double log_q = std::log(q);
   double log_1mq = std::log1p(-q);
   const double kSqrt2 = std::sqrt(2.0);
+  // |binom(α, i)| carried incrementally (one log per term instead of the
+  // O(i) product LogAbsBinom recomputes): log|C(α,i+1)| =
+  // log|C(α,i)| + log|α-i| - log(i+1), sign flipping with (α-i). Keeps
+  // the slow-converging large-q tail O(terms), not O(terms²).
+  int sign = 1;
+  double log_coef = 0.0;  // log |binom(α, 0)|
   int i = 0;
   for (;;) {
-    int sign = 1;
-    double log_coef = LogAbsBinom(alpha, i, &sign);
     double j = alpha - static_cast<double>(i);
     double log_t0 = log_coef + i * log_q + j * log_1mq;
     double log_t1 = log_coef + j * log_q + i * log_1mq;
@@ -122,8 +109,16 @@ double LogAFrac(double q, double sigma, double alpha) {
         std::max(log_s0, log_s1) < -30.0 + std::max(log_a0, log_a1)) {
       break;
     }
+    double f = alpha - static_cast<double>(i);
+    if (f < 0.0) sign = -sign;
+    log_coef += std::log(std::fabs(f)) - std::log(static_cast<double>(i + 1));
     ++i;
-    DPBR_CHECK_LT(i, 10000);
+    // At large sampling rates (q ≳ 0.5, reachable with client subsampling
+    // over tiny shards) the tail of this series decays only polynomially
+    // and 10⁴ terms may not suffice. Declining to bound this order is
+    // sound: the ε minimization simply skips it and the integer orders —
+    // summed exactly by LogAInt — still provide finite valid bounds.
+    if (i >= 10000) return std::numeric_limits<double>::infinity();
   }
   return LogAddExp(log_a0, log_a1);
 }
@@ -252,6 +247,49 @@ Result<double> NoiseMultiplierFor(double q, int steps, double epsilon,
     }
   }
   return hi;
+}
+
+double RdpClientSubsampledGaussian(double q_client, double q_record,
+                                   double sigma, double order) {
+  DPBR_CHECK_GE(q_client, 0.0);
+  DPBR_CHECK_LE(q_client, 1.0);
+  // Product of two independent Poisson inclusion events: the round is one
+  // sampled-Gaussian step at rate q_client·q_record. q_client == 1.0 makes
+  // the product bitwise equal to q_record, so the identity property holds
+  // exactly, not just analytically.
+  return RdpSampledGaussian(q_client * q_record, sigma, order);
+}
+
+std::vector<double> RdpClientSubsampledGaussian(
+    double q_client, double q_record, double sigma,
+    const std::vector<double>& orders) {
+  std::vector<double> rdp(orders.size());
+  for (size_t i = 0; i < orders.size(); ++i) {
+    rdp[i] = RdpClientSubsampledGaussian(q_client, q_record, sigma,
+                                         orders[i]);
+  }
+  return rdp;
+}
+
+Result<double> ComputeEpsilonClientSubsampled(double q_client,
+                                              double q_record, double sigma,
+                                              int steps, double delta) {
+  if (q_client < 0.0 || q_client > 1.0) {
+    return Status::InvalidArgument(
+        "client sampling rate q_client must lie in [0, 1]");
+  }
+  return ComputeEpsilon(q_client * q_record, sigma, steps, delta);
+}
+
+Result<double> NoiseMultiplierForClientSubsampled(double q_client,
+                                                  double q_record, int steps,
+                                                  double epsilon,
+                                                  double delta) {
+  if (q_client < 0.0 || q_client > 1.0) {
+    return Status::InvalidArgument(
+        "client sampling rate q_client must lie in [0, 1]");
+  }
+  return NoiseMultiplierFor(q_client * q_record, steps, epsilon, delta);
 }
 
 }  // namespace dp

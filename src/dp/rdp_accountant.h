@@ -58,6 +58,43 @@ Result<double> ComputeEpsilon(double q, double sigma, int steps, double delta);
 Result<double> NoiseMultiplierFor(double q, int steps, double epsilon,
                                   double delta);
 
+/// \brief RDP ε(α) of one round under *client-level* Poisson subsampling
+/// on top of record-level Poisson sampling.
+///
+/// Each client participates in a round independently with probability
+/// `q_client`; a participating client's record enters its mini-batch with
+/// probability `q_record`. From one record's point of view the two
+/// Bernoulli draws are independent, so its per-round inclusion is Poisson
+/// with the product rate q_client·q_record, and the round is exactly one
+/// step of the sampled Gaussian mechanism at that effective rate
+/// (amplification by Poisson subsampling composes multiplicatively;
+/// Mironov–Talwar–Zhang 2019, Zhu–Wang 2019).
+///
+/// Properties pinned by tests/dp/accountant_properties_test.cc:
+///   - q_client == 1 recovers RdpSampledGaussian(q_record, ...) exactly;
+///   - monotone non-decreasing in q_client (more participation, more loss).
+double RdpClientSubsampledGaussian(double q_client, double q_record,
+                                   double sigma, double order);
+
+/// Vectorized client-subsampled single-round RDP across `orders`.
+std::vector<double> RdpClientSubsampledGaussian(
+    double q_client, double q_record, double sigma,
+    const std::vector<double>& orders);
+
+/// End-to-end ε with client subsampling: `steps` compositions of the
+/// sampled Gaussian mechanism at effective rate q_client·q_record.
+Result<double> ComputeEpsilonClientSubsampled(double q_client,
+                                              double q_record, double sigma,
+                                              int steps, double delta);
+
+/// Inverse with client subsampling: smallest σ achieving (ε, δ) over
+/// `steps` rounds at effective rate q_client·q_record. q_client == 1
+/// degenerates to NoiseMultiplierFor bit-for-bit.
+Result<double> NoiseMultiplierForClientSubsampled(double q_client,
+                                                  double q_record, int steps,
+                                                  double epsilon,
+                                                  double delta);
+
 }  // namespace dp
 }  // namespace dpbr
 

@@ -7,23 +7,30 @@
 #ifndef DPBR_FL_ATTACK_INTERFACE_H_
 #define DPBR_FL_ATTACK_INTERFACE_H_
 
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/span.h"
 
 namespace dpbr {
 namespace fl {
 
-/// Everything an omniscient Byzantine attacker observes in one round.
+/// \brief Everything an omniscient Byzantine attacker observes in one
+/// round.
+///
+/// The upload views alias the round's UploadArena (or a packed scratch in
+/// the legacy path); they are valid only for the duration of the
+/// Forge/ForgeInto call.
 struct AttackContext {
-  /// Uploads produced by all honest workers this round.
-  const std::vector<std::vector<float>>* honest_uploads = nullptr;
+  /// Uploads produced by all honest workers this round (read-only view).
+  ConstRowSpan honest_uploads;
   /// For data-poisoning attacks: uploads the Byzantine workers would send
   /// if they honestly ran the DP protocol on their *poisoned* shards.
   /// Filled by the trainer only when wants_poisoned_uploads() is true.
-  const std::vector<std::vector<float>>* poisoned_uploads = nullptr;
+  ConstRowSpan poisoned_uploads;
   /// Current global model parameters.
   const std::vector<float>* global_params = nullptr;
   size_t dim = 0;
@@ -35,7 +42,14 @@ struct AttackContext {
   SplitRng* rng = nullptr;
 };
 
-/// A coordinated Byzantine strategy producing all malicious uploads.
+/// \brief A coordinated Byzantine strategy producing all malicious
+/// uploads.
+///
+/// The production entry point is ForgeInto(): the trainer reserves
+/// `out.rows` rows of the round arena for the Byzantine workers and the
+/// attack writes its forgeries straight into them — no per-forgery
+/// allocation. Forge() is a compatibility adapter returning copied
+/// vectors.
 class Attack {
  public:
   virtual ~Attack() = default;
@@ -47,9 +61,25 @@ class Attack {
   /// the DP protocol on flipped shards and provides the results.
   virtual bool wants_poisoned_uploads() const { return false; }
 
-  /// Produces `num_byzantine` malicious uploads for this round.
-  virtual std::vector<std::vector<float>> Forge(const AttackContext& ctx,
-                                                size_t num_byzantine) = 0;
+  /// Writes one malicious upload (length ctx.dim == out.dim) into every
+  /// row of `out` — out.rows is the round's Byzantine worker count. Must
+  /// write all out.rows × out.dim floats; must not read `out`'s prior
+  /// contents.
+  virtual void ForgeInto(const AttackContext& ctx, RowSpan out) = 0;
+
+  /// Legacy adapter: forges into temporary contiguous scratch and copies
+  /// the rows out. Bitwise-identical to ForgeInto on an arena.
+  std::vector<std::vector<float>> Forge(const AttackContext& ctx,
+                                        size_t num_byzantine) {
+    std::vector<float> block(num_byzantine * ctx.dim);
+    ForgeInto(ctx, RowSpan(block.data(), num_byzantine, ctx.dim));
+    std::vector<std::vector<float>> out(num_byzantine);
+    for (size_t b = 0; b < num_byzantine; ++b) {
+      out[b].assign(block.data() + b * ctx.dim,
+                    block.data() + (b + 1) * ctx.dim);
+    }
+    return out;
+  }
 };
 
 using AttackPtr = std::unique_ptr<Attack>;

@@ -22,6 +22,10 @@ struct TrainingHistory {
   double final_accuracy = 0.0;
   double best_accuracy = 0.0;
   int total_rounds = 0;
+  /// Honest cohort size of every round (n_honest each round under full
+  /// participation; Binomial(n_honest, q_c) draws under Poisson client
+  /// subsampling). Byzantine rows are excluded from the count.
+  std::vector<int> round_participants;
   /// Privacy actually enforced (copied from the calibration).
   double epsilon = 0.0;
   double sigma = 0.0;

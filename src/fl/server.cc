@@ -48,49 +48,56 @@ Server::Server(nn::ModelFactory factory, agg::AggregatorPtr aggregator,
   params_ = model->FlatParams();
 }
 
-Status Server::Step(const std::vector<std::vector<float>>& uploads, double lr,
+Status Server::Step(RowSpan uploads, double lr,
                     agg::AggregationContext ctx) {
   ctx.dim = params_.size();
-  // Scan every upload for non-finite values in parallel and neutralize
-  // offenders (g ← 0, as the first-stage filter does): a single NaN/Inf
-  // coordinate from a Byzantine client must poison neither the aggregate
-  // nor the round. Dimension validation stays with the aggregator's
-  // ValidateUploads. The copy is taken only under attack.
-  std::vector<uint8_t> finite(uploads.size(), 1);
-  ParallelFor(0, uploads.size(), [&](size_t i) {
-    for (float v : uploads[i]) {
-      if (!std::isfinite(v)) {
-        finite[i] = 0;
+  // Scan every row for non-finite values in parallel and neutralize
+  // offenders in place (g ← 0, as the first-stage filter does): a single
+  // NaN/Inf coordinate from a Byzantine client must poison neither the
+  // aggregate nor the round. No copy is ever taken — the all-finite fast
+  // path leaves the arena untouched. Dimension validation stays with the
+  // aggregator's ValidateUploads.
+  ParallelFor(0, uploads.rows, [&](size_t i) {
+    float* row = uploads.Row(i);
+    for (size_t k = 0; k < uploads.dim; ++k) {
+      if (!std::isfinite(row[k])) {
+        std::fill(row, row + uploads.dim, 0.0f);
         break;
       }
     }
   });
-  bool all_finite = true;
-  for (uint8_t f : finite) all_finite &= f != 0;
-  std::vector<std::vector<float>> sanitized;
-  const std::vector<std::vector<float>>* effective = &uploads;
-  if (!all_finite) {
-    sanitized = uploads;
-    for (size_t i = 0; i < sanitized.size(); ++i) {
-      if (!finite[i]) {
-        std::fill(sanitized[i].begin(), sanitized[i].end(), 0.0f);
-      }
-    }
-    effective = &sanitized;
-  }
   std::vector<float> server_grad;
   if (aggregator_->NeedsServerGradient()) {
     DPBR_ASSIGN_OR_RETURN(server_grad, ComputeServerGradient());
     ctx.server_gradient = &server_grad;
   }
   DPBR_ASSIGN_OR_RETURN(std::vector<float> update,
-                        aggregator_->Aggregate(*effective, ctx));
+                        aggregator_->Aggregate(uploads, ctx));
   if (update.size() != params_.size()) {
     return Status::Internal("aggregated update dimension mismatch");
   }
   ops::Axpy(static_cast<float>(-lr), update.data(), params_.data(),
             params_.size());
   return Status::OK();
+}
+
+Status Server::Step(const std::vector<std::vector<float>>& uploads, double lr,
+                    agg::AggregationContext ctx) {
+  // Pack into one scratch block (the only copy on this legacy path) so
+  // the in-place sanitize/reject semantics never touch the caller's
+  // vectors.
+  size_t dim = params_.size();
+  for (const auto& u : uploads) {
+    if (u.size() != dim) {
+      return Status::InvalidArgument("upload dimension mismatch");
+    }
+  }
+  std::vector<float> packed(uploads.size() * dim);
+  for (size_t i = 0; i < uploads.size(); ++i) {
+    std::memcpy(packed.data() + i * dim, uploads[i].data(),
+                dim * sizeof(float));
+  }
+  return Step(RowSpan(packed.data(), uploads.size(), dim), lr, ctx);
 }
 
 Result<std::vector<float>> Server::ComputeServerGradient() {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "aggregators/aggregator.h"
+#include "common/span.h"
 #include "common/status.h"
 #include "data/dataset.h"
 #include "nn/sequential.h"
@@ -27,8 +28,18 @@ class Server {
   size_t dim() const { return params_.size(); }
   agg::Aggregator* aggregator() { return aggregator_.get(); }
 
-  /// Runs one aggregation + update step: w ← w − η·Aggregate(uploads).
-  /// Computes the auxiliary gradient on demand and injects it into `ctx`.
+  /// \brief Runs one aggregation + update step:
+  /// w ← w − η·Aggregate(uploads).
+  ///
+  /// Zero-copy: `uploads` is a mutable view of the round's UploadArena.
+  /// The sanitize pass zeroes rows containing non-finite values *in
+  /// place* (g ← 0, as the first-stage filter does), and the aggregator
+  /// may zero further rows; all-finite rounds touch nothing. Computes
+  /// the auxiliary gradient on demand and injects it into `ctx`.
+  Status Step(RowSpan uploads, double lr, agg::AggregationContext ctx);
+
+  /// Legacy adapter: packs `uploads` into contiguous scratch and runs the
+  /// span path. The caller's vectors are never modified.
   Status Step(const std::vector<std::vector<float>>& uploads, double lr,
               agg::AggregationContext ctx);
 

@@ -9,6 +9,7 @@
 #include "common/thread_pool.h"
 #include "data/partition.h"
 #include "dp/rdp_accountant.h"
+#include "fl/upload.h"
 
 namespace dpbr {
 namespace fl {
@@ -20,6 +21,7 @@ constexpr uint64_t kAuxStream = 0xa0c5;
 constexpr uint64_t kByzShardStream = 0xb125;
 constexpr uint64_t kAttackStream = 0xa77c;
 constexpr uint64_t kWorkerStream = 0x3011;
+constexpr uint64_t kClientSampleStream = 0xc1a7;
 
 }  // namespace
 
@@ -53,6 +55,11 @@ Status FederatedTrainer::Setup() {
   }
   if (options_.batch_size <= 0) {
     return Status::InvalidArgument("batch_size must be > 0");
+  }
+  if (options_.client_sampling_rate <= 0.0 ||
+      options_.client_sampling_rate > 1.0) {
+    return Status::InvalidArgument(
+        "client_sampling_rate must lie in (0, 1]");
   }
 
   size_t n_honest = static_cast<size_t>(options_.num_honest);
@@ -95,11 +102,15 @@ Status FederatedTrainer::Setup() {
   spec.batch_size = std::min<int>(options_.batch_size,
                                   static_cast<int>(min_shard));
   spec.epochs = options_.epochs;
+  spec.client_sampling_rate = options_.client_sampling_rate;
   DPBR_ASSIGN_OR_RETURN(privacy_, dp::CalibratePrivacy(spec));
 
+  // Mirrors CalibratePrivacy's T: with client subsampling each worker only
+  // joins ~q_c of the rounds, so the round count scales by 1/q_c (q_c = 1
+  // multiplies the divisor by exactly 1.0 — the legacy count, bitwise).
   total_rounds_ = static_cast<int>(
       std::ceil(static_cast<double>(options_.epochs) * min_shard /
-                spec.batch_size));
+                (spec.batch_size * options_.client_sampling_rate)));
   rounds_per_epoch_ = std::max(1, total_rounds_ / options_.epochs);
 
   // --- Learning rate: η = η_b · σ_b / σ (paper CLAIM 6). ---
@@ -195,61 +206,101 @@ Result<TrainingHistory> FederatedTrainer::Run() {
       1, static_cast<int>(std::lround(options_.eval_every_epochs *
                                       rounds_per_epoch_)));
 
-  std::vector<std::vector<float>> honest_uploads(
-      n_honest, std::vector<float>(dim, 0.0f));
-  std::vector<std::vector<float>> poisoned_uploads;
+  // One contiguous (cohort + Byzantine) × d block, reused every round.
+  // Reset never releases capacity, so steady-state training allocates the
+  // upload storage exactly once — peak upload memory is one arena.
+  UploadArena arena;
+  UploadArena poisoned_arena;
+  const double q_c = options_.client_sampling_rate;
+  const bool subsampled = q_c < 1.0;
+  std::vector<size_t> cohort;
+  cohort.reserve(n_honest);
+  std::vector<int> client_ids;
 
   for (int round = 1; round <= total_rounds_; ++round) {
     const std::vector<float>& params = server_->params();
 
-    // Honest workers compute their DP uploads in parallel; determinism is
-    // guaranteed because each worker's randomness is keyed by
-    // (seed, worker, round), never by thread schedule.
-    ParallelFor(0, n_honest, [&](size_t i) {
-      honest_uploads[i] = honest_workers_[i]->ComputeUpdate(params, round);
-    });
-
-    // Byzantine uploads from the omniscient attacker.
-    std::vector<std::vector<float>> byz_uploads;
-    if (n_byz > 0) {
-      if (attack_->wants_poisoned_uploads()) {
-        poisoned_uploads.assign(n_byz, {});
-        ParallelFor(0, n_byz, [&](size_t b) {
-          poisoned_uploads[b] =
-              poisoned_workers_[b]->ComputeUpdate(params, round);
-        });
+    // Poisson cohort: each honest worker joins independently with
+    // probability q_c. The draw stream is keyed (seed, round) only —
+    // never by thread schedule or worker count downstream — so the cohort
+    // sequence is deterministic and pool-size invariant.
+    cohort.clear();
+    if (subsampled) {
+      SplitRng sample_rng(
+          options_.seed, {kClientSampleStream, static_cast<uint64_t>(round)});
+      for (size_t i = 0; i < n_honest; ++i) {
+        if (sample_rng.Uniform() < q_c) cohort.push_back(i);
       }
-      SplitRng attack_rng(options_.seed,
-                          {kAttackStream, static_cast<uint64_t>(round)});
-      AttackContext actx;
-      actx.honest_uploads = &honest_uploads;
-      actx.poisoned_uploads = &poisoned_uploads;
-      actx.global_params = &params;
-      actx.dim = dim;
-      actx.sigma_upload = privacy_.dp_enabled ? privacy_.sigma_upload : 0.0;
-      actx.round = round;
-      actx.total_rounds = total_rounds_;
-      actx.rng = &attack_rng;
-      byz_uploads = attack_->Forge(actx, n_byz);
-      if (byz_uploads.size() != n_byz) {
-        return Status::Internal("attack produced wrong upload count");
-      }
+    } else {
+      for (size_t i = 0; i < n_honest; ++i) cohort.push_back(i);
     }
+    history.round_participants.push_back(static_cast<int>(cohort.size()));
 
-    // Fixed worker-id order: honest ids first, Byzantine after. Index
-    // order is stable across rounds (the second stage accumulates
-    // per-worker scores).
-    std::vector<std::vector<float>> all_uploads;
-    all_uploads.reserve(n_honest + n_byz);
-    for (auto& u : honest_uploads) all_uploads.push_back(u);
-    for (auto& u : byz_uploads) all_uploads.push_back(std::move(u));
+    if (!cohort.empty()) {
+      // Arena layout: cohort honest rows first, Byzantine rows after.
+      size_t n_round = cohort.size() + n_byz;
+      arena.Reset(n_round, dim);
 
-    agg::AggregationContext ctx;
-    ctx.round = round;
-    ctx.dim = dim;
-    ctx.sigma_upload = privacy_.dp_enabled ? privacy_.sigma_upload : 0.0;
-    ctx.gamma = gamma_;
-    DPBR_RETURN_NOT_OK(server_->Step(all_uploads, lr_, ctx));
+      // Honest workers write their row in place inside the parallel
+      // dispatch; each worker's randomness is keyed by (seed, worker,
+      // round), so uploads are identical whether or not others are
+      // sampled this round.
+      ParallelFor(0, cohort.size(), [&](size_t i) {
+        honest_workers_[cohort[i]]->ComputeUpdateInto(params, round,
+                                                      arena.Row(i));
+      });
+
+      // Byzantine uploads: the omniscient attacker sees the honest rows
+      // (a read-only alias of the arena) and forges straight into its
+      // reserved rows — disjoint storage, so the alias is safe.
+      if (n_byz > 0) {
+        if (attack_->wants_poisoned_uploads()) {
+          poisoned_arena.Reset(n_byz, dim);
+          ParallelFor(0, n_byz, [&](size_t b) {
+            poisoned_workers_[b]->ComputeUpdateInto(params, round,
+                                                    poisoned_arena.Row(b));
+          });
+        }
+        SplitRng attack_rng(options_.seed,
+                            {kAttackStream, static_cast<uint64_t>(round)});
+        AttackContext actx;
+        actx.honest_uploads = arena.cspan().Slice(0, cohort.size());
+        if (attack_->wants_poisoned_uploads()) {
+          actx.poisoned_uploads = poisoned_arena.cspan();
+        }
+        actx.global_params = &params;
+        actx.dim = dim;
+        actx.sigma_upload =
+            privacy_.dp_enabled ? privacy_.sigma_upload : 0.0;
+        actx.round = round;
+        actx.total_rounds = total_rounds_;
+        actx.rng = &attack_rng;
+        attack_->ForgeInto(actx, arena.span().Slice(cohort.size(), n_round));
+      }
+
+      agg::AggregationContext ctx;
+      ctx.round = round;
+      ctx.dim = dim;
+      ctx.sigma_upload = privacy_.dp_enabled ? privacy_.sigma_upload : 0.0;
+      ctx.gamma = gamma_;
+      // Under subsampling, arena positions shift between rounds; stable
+      // client ids (cohort ids first, Byzantine ids after) let id-keyed
+      // aggregator state (second-stage scores) survive cohort churn. The
+      // full-participation path passes no ids — positions ARE the ids —
+      // preserving the legacy fixed-cohort contract exactly.
+      if (subsampled) {
+        client_ids.clear();
+        for (size_t i : cohort) client_ids.push_back(static_cast<int>(i));
+        for (size_t b = 0; b < n_byz; ++b) {
+          client_ids.push_back(static_cast<int>(n_honest + b));
+        }
+        ctx.client_ids = &client_ids;
+      }
+      DPBR_RETURN_NOT_OK(server_->Step(arena.span(), lr_, ctx));
+    }
+    // An empty cohort (possible when q_c·n_honest is small) skips the
+    // aggregation entirely: the model is unchanged and the accountant's
+    // per-round charge stands (conservative).
 
     if (round % eval_every == 0 || round == total_rounds_) {
       EvalPoint p;

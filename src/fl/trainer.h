@@ -48,6 +48,13 @@ struct TrainerOptions {
   // (num_honest / n).
   double gamma = -1.0;
 
+  /// Per-round client Poisson participation rate q_c ∈ (0, 1]. Each honest
+  /// worker joins a round independently with probability q_c (Byzantine
+  /// workers always show up — the attacker controls them). The privacy
+  /// accountant charges rounds at the amplified rate q_c·q and the round
+  /// count scales by 1/q_c; 1 is the paper's full-participation protocol.
+  double client_sampling_rate = 1.0;
+
   // Data layout.
   bool iid = true;
   int aux_per_class = 2;
@@ -78,6 +85,9 @@ class FederatedTrainer {
   const dp::PrivacyParams& privacy() const { return privacy_; }
   double learning_rate() const { return lr_; }
   int total_rounds() const { return total_rounds_; }
+  /// The server (non-null after Run() or a successful Setup()); exposed so
+  /// tests and diagnostics can inspect the trained model.
+  Server* server() { return server_.get(); }
 
  private:
   Status Setup();

@@ -1,4 +1,15 @@
 #include "fl/upload.h"
 
-// Upload is a plain aggregate; this TU only anchors the header in the
-// build graph.
+namespace dpbr {
+namespace fl {
+
+void UploadArena::Reset(size_t rows, size_t dim) {
+  rows_ = rows;
+  dim_ = dim;
+  // assign() both grows (first round) and zeroes reused capacity
+  // (steady state); it never releases capacity.
+  data_.assign(rows * dim, 0.0f);
+}
+
+}  // namespace fl
+}  // namespace dpbr

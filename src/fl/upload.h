@@ -3,7 +3,10 @@
 #ifndef DPBR_FL_UPLOAD_H_
 #define DPBR_FL_UPLOAD_H_
 
+#include <cstddef>
 #include <vector>
+
+#include "common/span.h"
 
 namespace dpbr {
 namespace fl {
@@ -14,6 +17,51 @@ struct Upload {
   int worker_id = -1;
   bool byzantine = false;
   std::vector<float> gradient;
+};
+
+/// \brief Contiguous storage for one round's uploads: a single
+/// `rows x dim` row-major float block.
+///
+/// The round protocol (see docs/architecture.md, "Upload arena"):
+///   1. The trainer calls Reset(n, d) — every row becomes zero.
+///   2. Each participating worker writes its gradient into Row(i) inside
+///      the parallel round dispatch (row i is owned by exactly one task).
+///   3. The attack forges into the Byzantine-reserved rows via ForgeInto.
+///   4. Server::Step aggregates a zero-copy span() view; the sanitize
+///      pass and the dpbr first stage may zero rows in place.
+/// Rows are wholly rewritten at step 2 of the next round, so no cleanup
+/// pass is needed. Memory is grow-only: Reset never shrinks the backing
+/// vector, so steady-state training does one allocation total.
+class UploadArena {
+ public:
+  UploadArena() = default;
+
+  /// Sizes the arena for `rows` uploads of dimension `dim` and zeroes
+  /// every row. Existing capacity is reused when large enough.
+  void Reset(size_t rows, size_t dim);
+
+  size_t rows() const { return rows_; }
+  size_t dim() const { return dim_; }
+
+  /// Mutable pointer to row i (i < rows()).
+  float* Row(size_t i) { return data_.data() + i * dim_; }
+  const float* Row(size_t i) const { return data_.data() + i * dim_; }
+
+  /// Mutable view of the whole block (aggregators may zero rows).
+  RowSpan span() { return RowSpan(data_.data(), rows_, dim_); }
+  /// Read-only view of the whole block.
+  ConstRowSpan cspan() const {
+    return ConstRowSpan(data_.data(), rows_, dim_);
+  }
+
+  /// Bytes currently reserved by the backing storage (capacity, not
+  /// logical size) — what a peak-memory audit should count.
+  size_t capacity_bytes() const { return data_.capacity() * sizeof(float); }
+
+ private:
+  std::vector<float> data_;
+  size_t rows_ = 0;
+  size_t dim_ = 0;
 };
 
 }  // namespace fl

@@ -1,5 +1,6 @@
 #include "fl/worker.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/logging.h"
@@ -30,6 +31,13 @@ HonestDpWorker::HonestDpWorker(int id, data::DatasetView shard,
 
 std::vector<float> HonestDpWorker::ComputeUpdate(
     const std::vector<float>& global_params, int round) {
+  std::vector<float> upload(dim_);
+  ComputeUpdateInto(global_params, round, upload.data());
+  return upload;
+}
+
+void HonestDpWorker::ComputeUpdateInto(
+    const std::vector<float>& global_params, int round, float* out) {
   DPBR_CHECK_EQ(global_params.size(), dim_);
   model_->SetParamsFrom(global_params.data());
 
@@ -77,28 +85,29 @@ std::vector<float> HonestDpWorker::ComputeUpdate(
     }
   }
 
-  // Line 10: sum of normalized slots, perturbed, averaged.
-  std::vector<float> upload(dim_, 0.0f);
+  // Line 10: sum of normalized slots, perturbed, averaged — accumulated
+  // directly into the caller's row (no per-upload allocation).
+  std::fill(out, out + dim_, 0.0f);
   std::vector<float> unit(dim_);
   for (size_t j = 0; j < bc; ++j) {
     unit = momentum_[j];
     ops::NormalizeInPlace(unit.data(), dim_);
-    ops::Axpy(1.0f, unit.data(), upload.data(), dim_);
+    ops::Axpy(1.0f, unit.data(), out, dim_);
   }
   if (options_.sigma > 0.0) {
     // Bulk perturbation (~d draws per round): the blocked sampler is both
     // the hot-path win and pool-size invariant, so the upload stream does
     // not depend on how the trainer schedules workers.
-    rng.AddGaussian(upload.data(), dim_, options_.sigma,
-                    options_.noise_sampler);
+    rng.AddGaussian(out, dim_, options_.sigma, options_.noise_sampler);
   }
-  ops::Scale(1.0f / static_cast<float>(bc), upload.data(), dim_);
+  ops::Scale(1.0f / static_cast<float>(bc), out, dim_);
 
   // Line 11: momentum handling after upload (see MomentumReset).
   if (options_.momentum_reset == MomentumReset::kResetToUpload) {
-    for (size_t j = 0; j < bc; ++j) momentum_[j] = upload;
+    for (size_t j = 0; j < bc; ++j) {
+      momentum_[j].assign(out, out + dim_);
+    }
   }
-  return upload;
 }
 
 }  // namespace fl

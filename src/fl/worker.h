@@ -48,7 +48,13 @@ class HonestDpWorker {
   HonestDpWorker(int id, data::DatasetView shard, nn::ModelFactory factory,
                  const WorkerOptions& options, uint64_t seed);
 
-  /// Runs Algorithm 1 lines 5-11 and returns the upload g_i^t.
+  /// Runs Algorithm 1 lines 5-11, writing the upload g_i^t into `out`
+  /// (dim() floats — typically the worker's row of the round's
+  /// UploadArena). `out` is wholly overwritten.
+  void ComputeUpdateInto(const std::vector<float>& global_params, int round,
+                         float* out);
+
+  /// Convenience wrapper returning the upload as a fresh vector.
   std::vector<float> ComputeUpdate(const std::vector<float>& global_params,
                                    int round);
 

@@ -25,11 +25,29 @@ AggregationContext Ctx(size_t dim, double gamma = 0.5) {
 
 TEST(ValidateUploadsTest, Errors) {
   AggregationContext ctx = Ctx(2);
-  EXPECT_FALSE(ValidateUploads({}, ctx).ok());
+  // Brace-init `{}` is ambiguous between the span and vector overloads
+  // now that both exist; spell the legacy type out.
+  EXPECT_FALSE(
+      ValidateUploads(std::vector<std::vector<float>>{}, ctx).ok());
   EXPECT_FALSE(ValidateUploads({{1.0f}}, ctx).ok());  // dim mismatch
   EXPECT_TRUE(ValidateUploads({{1.0f, 2.0f}}, ctx).ok());
   AggregationContext bad;
   EXPECT_FALSE(ValidateUploads({{1.0f}}, bad).ok());  // dim unset
+}
+
+TEST(ValidateUploadsTest, SpanErrors) {
+  AggregationContext ctx = Ctx(2);
+  float block[4] = {1.0f, 2.0f, 3.0f, 4.0f};
+  EXPECT_FALSE(ValidateUploads(ConstRowSpan(), ctx).ok());  // empty
+  EXPECT_FALSE(
+      ValidateUploads(ConstRowSpan(block, 4, 1), ctx).ok());  // dim mismatch
+  EXPECT_TRUE(ValidateUploads(ConstRowSpan(block, 2, 2), ctx).ok());
+  // client_ids, when present, must cover every row.
+  std::vector<int> ids = {0};
+  ctx.client_ids = &ids;
+  EXPECT_FALSE(ValidateUploads(ConstRowSpan(block, 2, 2), ctx).ok());
+  ids = {0, 7};
+  EXPECT_TRUE(ValidateUploads(ConstRowSpan(block, 2, 2), ctx).ok());
 }
 
 TEST(TrustedCountTest, CeilingAndClamping) {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "attacks/a_little.h"
 #include "attacks/adaptive.h"
@@ -16,10 +17,13 @@ namespace attacks {
 namespace {
 
 // Synthesizes a round's worth of honest uploads g = g̃ + z as the DP
-// protocol produces them.
+// protocol produces them. `honest` keeps per-upload vectors for test
+// assertions; the context views the same values through a packed arena
+// block, as the trainer provides them.
 struct Scenario {
   std::vector<std::vector<float>> honest;
-  std::vector<std::vector<float>> poisoned;
+  std::vector<float> honest_block;
+  std::vector<float> poisoned_block;
   std::vector<float> params;
   SplitRng rng{123};
   fl::AttackContext ctx;
@@ -30,22 +34,36 @@ struct Scenario {
     std::vector<float> direction(dim);
     gen.FillGaussian(direction.data(), dim, 1.0);
     ops::NormalizeInPlace(direction.data(), dim);
+    honest_block.resize(n_honest * dim);
     for (size_t i = 0; i < n_honest; ++i) {
       std::vector<float> u(dim);
       SplitRng w = gen.Split(i);
       w.FillGaussian(u.data(), dim, sigma_upload);
       ops::Axpy(static_cast<float>(signal), direction.data(), u.data(), dim);
+      std::memcpy(honest_block.data() + i * dim, u.data(),
+                  dim * sizeof(float));
       honest.push_back(std::move(u));
     }
     params.assign(dim, 0.0f);
-    ctx.honest_uploads = &honest;
-    ctx.poisoned_uploads = &poisoned;
+    ctx.honest_uploads = ConstRowSpan(honest_block.data(), n_honest, dim);
     ctx.global_params = &params;
     ctx.dim = dim;
     ctx.sigma_upload = sigma_upload;
     ctx.round = 5;
     ctx.total_rounds = 100;
     ctx.rng = &rng;
+  }
+
+  /// Packs data-poisoning uploads and points the context at them.
+  void SetPoisoned(const std::vector<std::vector<float>>& rows) {
+    size_t dim = ctx.dim;
+    poisoned_block.assign(rows.size() * dim, 0.0f);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      std::memcpy(poisoned_block.data() + i * dim, rows[i].data(),
+                  dim * sizeof(float));
+    }
+    ctx.poisoned_uploads =
+        ConstRowSpan(poisoned_block.data(), rows.size(), dim);
   }
 };
 
@@ -145,8 +163,8 @@ TEST(InnerProductTest, NegatesTheMean) {
 
 TEST(LabelFlipTest, ForwardsPoisonedUploads) {
   Scenario s(4, 100, 0.2);
-  s.poisoned = {{std::vector<float>(100, 1.0f)},
-                {std::vector<float>(100, 2.0f)}};
+  s.SetPoisoned({std::vector<float>(100, 1.0f),
+                 std::vector<float>(100, 2.0f)});
   LabelFlipAttack attack;
   EXPECT_TRUE(attack.wants_poisoned_uploads());
   auto forged = attack.Forge(s.ctx, 2);

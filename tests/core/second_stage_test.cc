@@ -97,7 +97,10 @@ TEST(SecondStageTest, WorkerCountChangeIsAnError) {
 
 TEST(SecondStageTest, InputValidation) {
   SecondStageAggregator s;
-  EXPECT_FALSE(s.SelectWorkers({}, {1.0f}, 0.5).ok());
+  // Brace-init `{}` is ambiguous between the span and vector overloads;
+  // spell the legacy type out.
+  EXPECT_FALSE(
+      s.SelectWorkers(std::vector<std::vector<float>>{}, {1.0f}, 0.5).ok());
   EXPECT_FALSE(s.SelectWorkers(ScalarUploads({1}), {}, 0.5).ok());
   EXPECT_FALSE(
       s.SelectWorkers({{1.0f, 2.0f}}, {1.0f}, 0.5).ok());  // dim mismatch

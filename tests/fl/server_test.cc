@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #include "aggregators/fltrust.h"
 #include "aggregators/mean.h"
+#include "common/rng.h"
 #include "data/synthetic.h"
 #include "nn/loss.h"
 #include "nn/model_zoo.h"
@@ -104,6 +106,64 @@ TEST(ServerTest, NonFiniteUploadIsNeutralizedNotFatal) {
   for (size_t i = 0; i < s.dim(); ++i) {
     EXPECT_FLOAT_EQ(s.params()[i], before[i] - 0.25f);
   }
+}
+
+TEST(ServerTest, AllFiniteFastPathLeavesArenaUntouched) {
+  // The sanitize pass works in place on the arena: a fully-finite round
+  // must not copy, rewrite, or even touch a single float (the old path
+  // copied every upload into a `sanitized` block — this is the
+  // regression test for that double copy).
+  Server s(nn::MlpFactory(16, 8, 4), std::make_unique<agg::MeanAggregator>(),
+           data::DatasetView(), 1);
+  std::vector<float> block(3 * s.dim());
+  SplitRng rng(5, {0xB10C});
+  rng.FillGaussian(block.data(), block.size(), 1.0);
+  std::vector<float> before = block;
+  agg::AggregationContext ctx;
+  ASSERT_TRUE(s.Step(RowSpan(block.data(), 3, s.dim()), 0.5, ctx).ok());
+  EXPECT_EQ(0, std::memcmp(before.data(), block.data(),
+                           block.size() * sizeof(float)));
+}
+
+TEST(ServerTest, NonFiniteRowIsZeroedInPlace) {
+  Server s(nn::MlpFactory(16, 8, 4), std::make_unique<agg::MeanAggregator>(),
+           data::DatasetView(), 1);
+  std::vector<float> block(2 * s.dim(), 1.0f);
+  block[s.dim() + 3] = std::nan("");
+  agg::AggregationContext ctx;
+  ASSERT_TRUE(s.Step(RowSpan(block.data(), 2, s.dim()), 0.5, ctx).ok());
+  // Row 0 untouched, row 1 wholly zeroed (g ← 0).
+  for (size_t k = 0; k < s.dim(); ++k) {
+    EXPECT_EQ(block[k], 1.0f);
+    EXPECT_EQ(block[s.dim() + k], 0.0f);
+  }
+}
+
+TEST(ServerTest, SpanStepMatchesLegacyStep) {
+  std::vector<std::vector<float>> uploads(
+      4, std::vector<float>(nn::MakeMlp(16, 8, 4)->NumParams()));
+  for (size_t i = 0; i < uploads.size(); ++i) {
+    SplitRng rng(8, {0xD1FF, i});
+    rng.FillGaussian(uploads[i].data(), uploads[i].size(), 0.5);
+  }
+  Server legacy(nn::MlpFactory(16, 8, 4),
+                std::make_unique<agg::MeanAggregator>(), data::DatasetView(),
+                1);
+  Server span(nn::MlpFactory(16, 8, 4),
+              std::make_unique<agg::MeanAggregator>(), data::DatasetView(),
+              1);
+  std::vector<float> block(uploads.size() * uploads[0].size());
+  for (size_t i = 0; i < uploads.size(); ++i) {
+    std::memcpy(block.data() + i * uploads[0].size(), uploads[i].data(),
+                uploads[0].size() * sizeof(float));
+  }
+  agg::AggregationContext ctx;
+  ASSERT_TRUE(legacy.Step(uploads, 0.25, ctx).ok());
+  ASSERT_TRUE(
+      span.Step(RowSpan(block.data(), uploads.size(), uploads[0].size()),
+                0.25, ctx)
+          .ok());
+  EXPECT_EQ(legacy.params(), span.params());
 }
 
 TEST(ServerTest, UntrainedAccuracyIsNearChance) {
