@@ -1,0 +1,111 @@
+// Micro-benchmarks (google-benchmark) for the durability layer: WAL
+// appends (one write+fsync per committed round) and full snapshot
+// checkpoint writes (tmp + fsync + rename) at representative state sizes.
+//
+// Visible in the ratchet's merged output but deliberately NOT in the
+// regression gate's HOT_BENCHMARKS: both are fsync-bound, and fsync
+// latency on shared CI runners varies far beyond the gate's slack.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "durability/checkpoint.h"
+#include "durability/io.h"
+#include "durability/wal.h"
+#include "fl/round_state.h"
+
+namespace {
+
+using namespace dpbr;
+
+std::string MakeTempDir() {
+  std::string tmpl = "/tmp/dpbr_bench_dur_XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  if (mkdtemp(buf.data()) == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    std::abort();
+  }
+  return buf.data();
+}
+
+void RemoveTree(const std::string& dir) {
+  auto names = durability::ListDir(dir);
+  if (names.ok()) {
+    for (const auto& n : names.value()) {
+      (void)durability::RemoveFile(dir + "/" + n);
+    }
+  }
+  std::remove(dir.c_str());
+}
+
+// One WAL append per committed round: a RoundCommitRecord-sized payload
+// through the framed write+fsync path.
+void BM_WalAppend(benchmark::State& state) {
+  std::string dir = MakeTempDir();
+  auto writer =
+      durability::WalWriter::Open(dir + "/wal.log", /*truncate=*/true);
+  if (!writer.ok()) {
+    state.SkipWithError(writer.status().ToString().c_str());
+    RemoveTree(dir);
+    return;
+  }
+  durability::WalWriter wal = std::move(writer).value();
+  fl::RoundCommitRecord rec;
+  rec.round = 1;
+  rec.participants = 20;
+  rec.has_eval = 1;
+  rec.eval_epoch = 1.0;
+  rec.eval_accuracy = 0.9;
+  const std::string payload = rec.Encode();
+  for (auto _ : state) {
+    Status s = wal.Append(payload);
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      break;
+    }
+    ++rec.round;
+  }
+  (void)wal.Close();
+  RemoveTree(dir);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(payload.size()));
+}
+BENCHMARK(BM_WalAppend);
+
+// Full snapshot write at model dimension d (the paper's MLP is d=25450;
+// Arg covers a small synthetic model and the paper scale).
+void BM_CheckpointWrite(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  std::string dir = MakeTempDir();
+  // Representative payload: flat params plus 8 workers x 16 momentum
+  // slots, encoded once outside the timed loop.
+  fl::PersistentRoundState st;
+  st.fingerprint.dim = dim;
+  st.model_params.assign(dim, 0.5f);
+  st.honest_momentum.assign(
+      8, std::vector<std::vector<float>>(16, std::vector<float>(dim, 0.1f)));
+  st.worker_rng_keys.assign(8, 7);
+  st.completed_round = 1;
+  const std::string payload = fl::EncodeRoundState(st);
+  int64_t round = 1;
+  for (auto _ : state) {
+    Status s = durability::WriteCheckpoint(dir, round++, payload);
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      break;
+    }
+  }
+  RemoveTree(dir);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(payload.size()));
+}
+BENCHMARK(BM_CheckpointWrite)->Arg(512)->Arg(25450);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -7,10 +7,18 @@
 //   ./accountant_cli --q=0.0053 --eps=0.125 --steps=1500 --delta=1.4e-4
 //   # protocol view: per-worker dataset/batch/epochs instead of q/steps
 //   ./accountant_cli --dataset_size=3000 --batch=16 --epochs=8 --eps=2
+//   # audit view: budget actually spent by a durable run's checkpoints
+//   ./accountant_cli --from_checkpoint=/path/to/checkpoint_dir
 //
-// All three forms take --qc=<rate> for per-round Poisson client
+// All q/steps forms take --qc=<rate> for per-round Poisson client
 // subsampling (default 1 = every client every round); see
 // docs/privacy_accounting.md for the worked example.
+//
+// --from_checkpoint reads the directory a durable trainer run writes
+// (docs/durability.md): the newest usable snapshot's spent ledger plus
+// any WAL commit records for rounds after that snapshot, so the ε(δ)
+// actually consumed is auditable even when the run was killed between
+// snapshots.
 
 #include <cstdio>
 #include <iostream>
@@ -18,9 +26,74 @@
 #include "common/flags.h"
 #include "dp/privacy_params.h"
 #include "dp/rdp_accountant.h"
+#include "fl/round_state.h"
+
+namespace {
+
+// Prints the spent-budget state of a durable run's checkpoint directory.
+int AuditCheckpointDir(const std::string& dir) {
+  auto state = dpbr::fl::LoadDurableState(dir);
+  if (!state.ok()) {
+    std::cerr << state.status().ToString() << "\n";
+    return 1;
+  }
+  const dpbr::fl::DurableRunState& s = state.value();
+  if (!s.has_snapshot && s.wal_records.empty()) {
+    std::printf("no durable state in %s (nothing spent)\n", dir.c_str());
+    return 0;
+  }
+
+  dpbr::dp::SpentLedger ledger;
+  int64_t snapshot_round = 0;
+  if (s.has_snapshot) {
+    ledger = s.snapshot.ledger;
+    snapshot_round = s.snapshot.completed_round;
+    std::printf("snapshot: round %lld (%s)\n",
+                static_cast<long long>(snapshot_round),
+                s.snapshot.fingerprint.ToString().c_str());
+    if (s.skipped_corrupt_checkpoints > 0) {
+      std::printf("WARNING: skipped %d corrupt checkpoint file(s)\n",
+                  s.skipped_corrupt_checkpoints);
+    }
+  } else {
+    std::printf("no usable snapshot; accounting from WAL records only\n");
+  }
+
+  // Rounds the WAL committed beyond the snapshot: charge them on top of
+  // the snapshot's ledger so a crash between snapshots still accounts
+  // every round that actually ran.
+  int64_t replayed = 0;
+  for (const dpbr::fl::RoundCommitRecord& rec : s.wal_records) {
+    if (rec.round > snapshot_round) {
+      ledger.ChargeRound(rec.round);
+      ++replayed;
+    }
+  }
+  if (replayed > 0) {
+    std::printf("WAL: %lld committed round(s) beyond the snapshot\n",
+                static_cast<long long>(replayed));
+  }
+  if (!s.wal_clean) {
+    std::printf("WARNING: WAL tail damaged (%s); later rounds, if any, "
+                "are unaccounted\n",
+                s.wal_damage.c_str());
+  }
+
+  std::printf("spent: %s\n", ledger.ToString().c_str());
+  if (!ledger.dp_enabled()) {
+    std::printf("DP disabled for this run (sigma = 0): eps is unbounded\n");
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   dpbr::Flags flags = dpbr::Flags::Parse(argc, argv);
+
+  if (flags.Has("from_checkpoint")) {
+    return AuditCheckpointDir(flags.GetString("from_checkpoint", ""));
+  }
 
   if (flags.Has("dataset_size")) {
     dpbr::dp::PrivacySpec spec;

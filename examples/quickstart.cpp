@@ -3,10 +3,18 @@
 //
 //   ./quickstart [--dataset=synth_mnist] [--eps=1] [--byz_frac=0.6]
 //                [--attack=label_flip] [--seed=1] [--epochs=8]
+//                [--checkpoint_dir=DIR] [--checkpoint_every=N]
 //
 // The run prints the privacy calibration, the per-epoch accuracy of the
 // dpbr protocol, and the Reference Accuracy (DP + plain averaging, no
 // attack) the paper compares against.
+//
+// With --checkpoint_dir the run is durable: every round appends a WAL
+// commit record, every N rounds a full snapshot is written, and Ctrl-C /
+// SIGTERM stops gracefully after the round in flight (partial history,
+// final checkpoint). Re-running the same command resumes where it
+// stopped and finishes with output bit-identical to an uninterrupted
+// run. See docs/durability.md.
 
 #include <cmath>
 #include <cstdio>
@@ -27,6 +35,9 @@ int main(int argc, char** argv) {
   config.attack = flags.GetString("attack", "label_flip");
   config.epochs = static_cast<int>(flags.GetInt("epochs", -1));
   config.seeds = {static_cast<uint64_t>(flags.GetInt("seed", 1))};
+  config.checkpoint_dir = flags.GetString("checkpoint_dir", "");
+  config.checkpoint_every_n_rounds =
+      static_cast<int>(flags.GetInt("checkpoint_every", 1));
 
   double byz_frac = flags.GetDouble("byz_frac", 0.6);
   // The paper fixes the honest population and injects Byzantine workers:

@@ -82,6 +82,28 @@ class Aggregator {
 
   /// Clears any cross-round state (e.g. cumulative score lists).
   virtual void Reset() {}
+
+  /// \brief Serializes the rule's cross-round state into `out` for a
+  /// durable checkpoint. Stateless rules (the default) write an empty
+  /// blob. The encoding is the rule's own; only the same rule ever
+  /// decodes it.
+  virtual Status SaveState(std::string* out) const {
+    out->clear();
+    return Status::OK();
+  }
+
+  /// \brief Restores state produced by this rule's SaveState. The
+  /// stateless default accepts only the empty blob — feeding a stateful
+  /// rule's blob to a stateless one is a configuration mismatch, not
+  /// something to ignore silently.
+  virtual Status RestoreState(const std::string& blob) {
+    if (!blob.empty()) {
+      return Status::InvalidArgument(
+          "aggregator '" + name() +
+          "' is stateless but the checkpoint carries aggregator state");
+    }
+    return Status::OK();
+  }
 };
 
 using AggregatorPtr = std::unique_ptr<Aggregator>;

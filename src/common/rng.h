@@ -109,6 +109,21 @@ class SplitRng {
   /// Samples k indices from [0, n) without replacement (k <= n).
   std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
 
+  /// Raw stream state, for durable snapshots: the derived key and the
+  /// number of Next64() draws consumed so far.
+  uint64_t state_key() const { return key_; }
+  uint64_t state_counter() const { return counter_; }
+
+  /// Reconstructs a stream from saved state. The continuation draws the
+  /// exact sequence the original stream would have from that point, with
+  /// one caveat: a cached Box-Muller spare is NOT part of the state, so
+  /// only capture state at points where no spare is pending (dpbr's
+  /// durable snapshots are taken between rounds, where every stream is
+  /// either fresh or fully drained).
+  static SplitRng FromState(uint64_t key, uint64_t counter) {
+    return SplitRng(key, counter);
+  }
+
  private:
   SplitRng(uint64_t key, uint64_t counter)
       : key_(key), counter_(counter), has_spare_(false), spare_(0.0) {}

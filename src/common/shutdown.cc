@@ -1,0 +1,42 @@
+#include "common/shutdown.h"
+
+#include <csignal>
+
+#include <atomic>
+
+namespace dpbr {
+namespace {
+
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+std::atomic<bool> g_handler_installed{false};
+
+extern "C" void GracefulShutdownHandler(int signum) {
+  g_shutdown_requested = 1;
+  // Second signal: fall back to the default disposition so a stuck
+  // process can still be killed with another Ctrl-C / TERM. Only
+  // async-signal-safe calls here.
+  std::signal(signum, SIG_DFL);
+}
+
+}  // namespace
+
+void InstallGracefulShutdownHandler() {
+  if (g_handler_installed.exchange(true)) return;
+  std::signal(SIGINT, GracefulShutdownHandler);
+  std::signal(SIGTERM, GracefulShutdownHandler);
+}
+
+bool ShutdownRequested() { return g_shutdown_requested != 0; }
+
+void RequestShutdown() { g_shutdown_requested = 1; }
+
+void ClearShutdownRequest() {
+  g_shutdown_requested = 0;
+  // Signals restore SIG_DFL after firing once; re-arm for the next run.
+  if (g_handler_installed.load()) {
+    std::signal(SIGINT, GracefulShutdownHandler);
+    std::signal(SIGTERM, GracefulShutdownHandler);
+  }
+}
+
+}  // namespace dpbr

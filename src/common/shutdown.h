@@ -1,0 +1,35 @@
+// Cooperative graceful shutdown: a process-wide flag set by SIGINT /
+// SIGTERM (or programmatically) and polled at safe points.
+//
+// The federated trainer checks the flag between rounds; when set, it
+// finishes the round in flight, writes a final checkpoint and returns a
+// partial TrainingHistory instead of dying mid-write — so an operator's
+// Ctrl-C (or the scheduler's TERM) never tears a checkpoint and the run
+// resumes bit-identically later. The handler only sets a sig_atomic_t
+// flag (the only thing that is async-signal-safe here); all real work
+// happens on the polling thread.
+
+#ifndef DPBR_COMMON_SHUTDOWN_H_
+#define DPBR_COMMON_SHUTDOWN_H_
+
+namespace dpbr {
+
+/// Installs the SIGINT/SIGTERM handler that raises the shutdown flag.
+/// Idempotent and cheap after the first call. A second signal restores
+/// the default disposition first, so a double Ctrl-C still force-kills a
+/// stuck process.
+void InstallGracefulShutdownHandler();
+
+/// True once a shutdown has been requested (signal or RequestShutdown).
+bool ShutdownRequested();
+
+/// Raises the flag programmatically — the embedding-application and test
+/// equivalent of delivering SIGINT.
+void RequestShutdown();
+
+/// Lowers the flag (tests; resuming a run after a handled shutdown).
+void ClearShutdownRequest();
+
+}  // namespace dpbr
+
+#endif  // DPBR_COMMON_SHUTDOWN_H_

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "durability/bytes.h"
 #include "tensor/ops.h"
 
 namespace dpbr {
@@ -78,6 +79,40 @@ Result<std::vector<float>> DpbrAggregator::Aggregate(
 void DpbrAggregator::Reset() {
   second_stage_.Reset();
   diag_ = DpbrRoundDiagnostics{};
+}
+
+namespace {
+// Version tag of the dpbr aggregator state blob (independent of the
+// checkpoint container version).
+constexpr uint32_t kDpbrStateVersion = 1;
+}  // namespace
+
+Status DpbrAggregator::SaveState(std::string* out) const {
+  durability::ByteWriter w;
+  w.PutU32(kDpbrStateVersion);
+  w.PutDoubleVec(second_stage_.cumulative_scores());
+  *out = w.Take();
+  return Status::OK();
+}
+
+Status DpbrAggregator::RestoreState(const std::string& blob) {
+  durability::ByteReader r(blob);
+  uint32_t version = 0;
+  DPBR_RETURN_NOT_OK(r.GetU32(&version));
+  if (version != kDpbrStateVersion) {
+    return Status::InvalidArgument(
+        "dpbr aggregator state: unsupported version " +
+        std::to_string(version));
+  }
+  std::vector<double> scores;
+  DPBR_RETURN_NOT_OK(r.GetDoubleVec(&scores));
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument(
+        "dpbr aggregator state: trailing bytes");
+  }
+  second_stage_.RestoreScores(std::move(scores));
+  diag_ = DpbrRoundDiagnostics{};
+  return Status::OK();
 }
 
 }  // namespace core

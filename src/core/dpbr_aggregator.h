@@ -46,6 +46,11 @@ class DpbrAggregator : public agg::Aggregator {
 
   void Reset() override;
 
+  /// Cross-round state = the second stage's cumulative score list S,
+  /// encoded as a versioned double vector.
+  Status SaveState(std::string* out) const override;
+  Status RestoreState(const std::string& blob) override;
+
   const DpbrRoundDiagnostics& last_round() const { return diag_; }
   const SecondStageAggregator& second_stage() const { return second_stage_; }
   const ProtocolOptions& options() const { return options_; }

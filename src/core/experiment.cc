@@ -146,6 +146,11 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
     topts.iid = config.iid;
     topts.aux_per_class = config.aux_per_class;
     topts.seed = seed;
+    if (!config.checkpoint_dir.empty()) {
+      topts.checkpoint_dir =
+          config.checkpoint_dir + "/seed" + std::to_string(seed);
+      topts.checkpoint_every_n_rounds = config.checkpoint_every_n_rounds;
+    }
     if (ood_bundle != nullptr) {
       topts.aux_source_override = &ood_bundle->val;
     }
@@ -169,6 +174,10 @@ Result<ExperimentResult> RunReference(ExperimentConfig config) {
   config.aggregator = "mean";
   config.gamma = -1.0;
   config.ood_aux_dataset.clear();
+  // The reference is a different experiment (different fingerprint), so
+  // it must not share the main run's snapshots: durable sweeps give it
+  // its own subtree.
+  if (!config.checkpoint_dir.empty()) config.checkpoint_dir += "/reference";
   return RunExperiment(config);
 }
 

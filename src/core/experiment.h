@@ -62,6 +62,12 @@ struct ExperimentConfig {
   /// benchmark's data space instead of the task's own validation split.
   std::string ood_aux_dataset;
 
+  /// Durable-run root (docs/durability.md): when non-empty, each seed's
+  /// trainer checkpoints into "<checkpoint_dir>/seed<seed>" and resumes
+  /// from it on a re-run. Empty disables durability.
+  std::string checkpoint_dir;
+  int checkpoint_every_n_rounds = 1;
+
   /// Seeds to repeat over (the paper uses {1, 2, 3}).
   std::vector<uint64_t> seeds = {1, 2, 3};
   /// Seed of the synthetic data generation itself (fixed: the paper's

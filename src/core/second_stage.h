@@ -51,6 +51,14 @@ class SecondStageAggregator {
     return last_scores_;
   }
 
+  /// Replaces the cumulative score list S with a snapshotted one
+  /// (checkpoint restore; the grow-to-largest-id sizing continues from
+  /// the restored length). Diagnostics from the last round are cleared.
+  void RestoreScores(std::vector<double> scores) {
+    scores_ = std::move(scores);
+    last_scores_.clear();
+  }
+
   /// Clears all cross-round state.
   void Reset();
 

@@ -1,0 +1,89 @@
+// Flat binary serialization for durable state: a grow-only ByteWriter and
+// a bounds-checked ByteReader over the same little-endian layout.
+//
+// Every multi-byte value is written as its raw bit pattern (floats and
+// doubles via their IEEE-754 words), so a decode followed by an encode is
+// byte-identical and restored state is *bitwise* equal to what was saved —
+// the property the resume-equals-uninterrupted guarantee rests on.
+// Decoding never trusts a length field: readers validate every count
+// against the bytes actually remaining and surface malformed input as
+// Status (a corrupt checkpoint must degrade, not abort or over-allocate).
+
+#ifndef DPBR_DURABILITY_BYTES_H_
+#define DPBR_DURABILITY_BYTES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dpbr {
+namespace durability {
+
+/// Append-only encoder. All Put* calls append to an internal buffer that
+/// Take() moves out.
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v);
+  /// IEEE-754 bit pattern; NaNs and signed zeros round-trip exactly.
+  void PutDouble(double v);
+  /// u64 element count followed by the raw float words.
+  void PutFloatVec(const std::vector<float>& v);
+  /// u64 element count followed by the raw double words.
+  void PutDoubleVec(const std::vector<double>& v);
+  /// u64 element count followed by i64 values.
+  void PutIntVec(const std::vector<int>& v);
+  /// u64 byte count followed by the bytes.
+  void PutString(const std::string& v);
+
+  const std::string& data() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  void Append(const void* p, size_t n);
+
+  std::string buf_;
+};
+
+/// Sequential decoder over a caller-owned buffer (not copied; keep the
+/// buffer alive while reading). Every Get* returns OutOfRange when the
+/// remaining bytes cannot satisfy the read.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::string& data)
+      : data_(data.data()), size_(data.size()) {}
+  ByteReader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  Status GetU8(uint8_t* out);
+  Status GetU32(uint32_t* out);
+  Status GetU64(uint64_t* out);
+  Status GetI64(int64_t* out);
+  Status GetDouble(double* out);
+  Status GetFloatVec(std::vector<float>* out);
+  Status GetDoubleVec(std::vector<double>* out);
+  Status GetIntVec(std::vector<int>* out);
+  Status GetString(std::string* out);
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  Status Take(void* out, size_t n);
+  /// Reads a u64 element count and validates count*elem_size against the
+  /// bytes remaining (corrupt lengths fail instead of allocating).
+  Status TakeCount(size_t elem_size, size_t* count);
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace durability
+}  // namespace dpbr
+
+#endif  // DPBR_DURABILITY_BYTES_H_

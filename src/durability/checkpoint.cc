@@ -1,0 +1,150 @@
+#include "durability/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/logging.h"
+#include "durability/bytes.h"
+#include "durability/crc32.h"
+#include "durability/io.h"
+
+namespace dpbr {
+namespace durability {
+namespace {
+
+constexpr char kPrefix[] = "checkpoint-";
+constexpr char kSuffix[] = ".ckpt";
+
+// Parses "checkpoint-<round>.ckpt"; returns false for anything else
+// (including the atomic writer's *.tmp debris).
+bool ParseCheckpointName(const std::string& name, int64_t* round) {
+  size_t prefix = sizeof(kPrefix) - 1;
+  size_t suffix = sizeof(kSuffix) - 1;
+  if (name.size() <= prefix + suffix) return false;
+  if (name.compare(0, prefix, kPrefix) != 0) return false;
+  if (name.compare(name.size() - suffix, suffix, kSuffix) != 0) return false;
+  const std::string digits = name.substr(prefix, name.size() - prefix -
+                                         suffix);
+  if (digits.empty()) return false;
+  char* end = nullptr;
+  long long value = std::strtoll(digits.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || value < 0) return false;
+  *round = value;
+  return true;
+}
+
+// Rounds of every complete checkpoint file in `dir`, ascending. A missing
+// directory is an empty list.
+Result<std::vector<int64_t>> ListCheckpointRounds(const std::string& dir) {
+  Result<std::vector<std::string>> names = ListDir(dir);
+  if (!names.ok()) {
+    if (names.status().code() == StatusCode::kNotFound) {
+      return std::vector<int64_t>{};
+    }
+    return names.status();
+  }
+  std::vector<int64_t> rounds;
+  for (const std::string& name : names.value()) {
+    int64_t round = 0;
+    if (ParseCheckpointName(name, &round)) rounds.push_back(round);
+  }
+  std::sort(rounds.begin(), rounds.end());
+  return rounds;
+}
+
+}  // namespace
+
+std::string CheckpointPath(const std::string& dir, int64_t round) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s%lld%s", kPrefix,
+                static_cast<long long>(round), kSuffix);
+  return dir + "/" + name;
+}
+
+Status WriteCheckpoint(const std::string& dir, int64_t round,
+                       const std::string& payload) {
+  if (round < 0) return Status::InvalidArgument("negative checkpoint round");
+  DPBR_RETURN_NOT_OK(EnsureDir(dir));
+  ByteWriter file;
+  file.PutU64(kCheckpointMagic);
+  file.PutU32(kCheckpointVersion);
+  file.PutU32(Crc32(payload.data(), payload.size()));
+  file.PutU64(payload.size());
+  std::string framed = file.Take();
+  framed += payload;
+  DPBR_RETURN_NOT_OK(WriteFileAtomic(CheckpointPath(dir, round), framed));
+
+  // Retention: drop everything but the newest kCheckpointsRetained. A
+  // failed unlink only costs disk, so log instead of failing the commit.
+  DPBR_ASSIGN_OR_RETURN(std::vector<int64_t> rounds,
+                        ListCheckpointRounds(dir));
+  while (rounds.size() > static_cast<size_t>(kCheckpointsRetained)) {
+    Status st = RemoveFile(CheckpointPath(dir, rounds.front()));
+    if (!st.ok()) {
+      DPBR_LOG_STREAM(Warning) << "checkpoint retention: " << st.ToString();
+    }
+    rounds.erase(rounds.begin());
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadCheckpointPayload(const std::string& path) {
+  DPBR_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  ByteReader reader(data);
+  uint64_t magic = 0;
+  uint32_t version = 0, crc = 0;
+  uint64_t length = 0;
+  if (!reader.GetU64(&magic).ok() || !reader.GetU32(&version).ok() ||
+      !reader.GetU32(&crc).ok() || !reader.GetU64(&length).ok()) {
+    return Status::InvalidArgument("checkpoint '" + path +
+                                   "': truncated header");
+  }
+  if (magic != kCheckpointMagic) {
+    return Status::InvalidArgument("checkpoint '" + path + "': bad magic");
+  }
+  if (version != kCheckpointVersion) {
+    return Status::InvalidArgument("checkpoint '" + path +
+                                   "': unsupported version " +
+                                   std::to_string(version));
+  }
+  if (length != reader.remaining()) {
+    return Status::InvalidArgument(
+        "checkpoint '" + path + "': payload length " +
+        std::to_string(length) + " does not match the " +
+        std::to_string(reader.remaining()) + " bytes present");
+  }
+  std::string payload = data.substr(data.size() - length);
+  if (Crc32(payload.data(), payload.size()) != crc) {
+    return Status::InvalidArgument("checkpoint '" + path +
+                                   "': payload CRC mismatch");
+  }
+  return payload;
+}
+
+Result<MaybeCheckpoint> LoadLatestCheckpoint(const std::string& dir) {
+  DPBR_ASSIGN_OR_RETURN(std::vector<int64_t> rounds,
+                        ListCheckpointRounds(dir));
+  MaybeCheckpoint out;
+  int skipped = 0;
+  for (auto it = rounds.rbegin(); it != rounds.rend(); ++it) {
+    std::string path = CheckpointPath(dir, *it);
+    Result<std::string> payload = ReadCheckpointPayload(path);
+    if (payload.ok()) {
+      out.found = true;
+      out.checkpoint.round = *it;
+      out.checkpoint.payload = std::move(payload).value();
+      out.checkpoint.path = std::move(path);
+      out.checkpoint.skipped_corrupt = skipped;
+      return out;
+    }
+    DPBR_LOG_STREAM(Warning) << "skipping unusable checkpoint: "
+                      << payload.status().ToString();
+    ++skipped;
+  }
+  return out;
+}
+
+}  // namespace durability
+}  // namespace dpbr

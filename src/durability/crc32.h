@@ -1,0 +1,24 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) used to frame every durable
+// record and checkpoint payload. A plain table-driven implementation: the
+// durability layer's corruption *detection* must not depend on optional
+// hardware instructions, and the WAL/checkpoint volumes (one small record
+// per round, one snapshot every n rounds) are nowhere near the point where
+// a slicing-by-8 or SSE4.2 kernel would matter.
+
+#ifndef DPBR_DURABILITY_CRC32_H_
+#define DPBR_DURABILITY_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dpbr {
+namespace durability {
+
+/// CRC-32 of `len` bytes at `data`, continuing from `crc` (pass 0 for a
+/// fresh checksum; feed the previous return value to extend incrementally).
+uint32_t Crc32(const void* data, size_t len, uint32_t crc = 0);
+
+}  // namespace durability
+}  // namespace dpbr
+
+#endif  // DPBR_DURABILITY_CRC32_H_

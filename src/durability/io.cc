@@ -1,0 +1,154 @@
+#include "durability/io.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace dpbr {
+namespace durability {
+namespace {
+
+std::string Errno(const std::string& op, const std::string& path) {
+  return op + " '" + path + "': " + std::strerror(errno);
+}
+
+// write(2) until done (short writes are legal for regular files under
+// signal interruption).
+Status WriteAll(int fd, const char* data, size_t n, const std::string& path) {
+  size_t off = 0;
+  while (off < n) {
+    ssize_t w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(Errno("write", path));
+    }
+    off += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status EnsureDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0777) != 0 && errno != EEXIST) {
+    // A missing parent is routine (experiment sweeps nest per-seed
+    // subdirectories under a base the user names); build it and retry.
+    if (errno == ENOENT) {
+      size_t slash = path.find_last_of('/');
+      if (slash == std::string::npos || slash == 0) {
+        return Status::Internal(Errno("mkdir", path));
+      }
+      DPBR_RETURN_NOT_OK(EnsureDir(path.substr(0, slash)));
+      if (::mkdir(path.c_str(), 0777) != 0 && errno != EEXIST) {
+        return Status::Internal(Errno("mkdir", path));
+      }
+    } else {
+      return Status::Internal(Errno("mkdir", path));
+    }
+  }
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::Internal(Errno("stat", path));
+  }
+  if (!S_ISDIR(st.st_mode)) {
+    return Status::InvalidArgument("'" + path +
+                                   "' exists and is not a directory");
+  }
+  return Status::OK();
+}
+
+bool PathExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such file: " + path);
+    }
+    return Status::Internal(Errno("open", path));
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      Status st = Status::Internal(Errno("read", path));
+      ::close(fd);
+      return st;
+    }
+    if (r == 0) break;
+    out.append(buf, static_cast<size_t>(r));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) return Status::Internal(Errno("open", tmp));
+  Status st = WriteAll(fd, contents.data(), contents.size(), tmp);
+  if (st.ok() && ::fsync(fd) != 0) {
+    st = Status::Internal(Errno("fsync", tmp));
+  }
+  if (::close(fd) != 0 && st.ok()) {
+    st = Status::Internal(Errno("close", tmp));
+  }
+  if (st.ok() && ::rename(tmp.c_str(), path.c_str()) != 0) {
+    st = Status::Internal(Errno("rename", tmp));
+  }
+  if (!st.ok()) {
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  // Persist the rename itself; without this a crash can forget the new
+  // name even though the data blocks are on disk.
+  size_t slash = path.find_last_of('/');
+  return SyncDir(slash == std::string::npos ? "."
+                                            : path.substr(0, slash));
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::Internal(Errno("unlink", path));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    if (errno == ENOENT) return Status::NotFound("no such directory: " + dir);
+    return Status::Internal(Errno("opendir", dir));
+  }
+  std::vector<std::string> names;
+  for (struct dirent* e = ::readdir(d); e != nullptr; e = ::readdir(d)) {
+    std::string name = e->d_name;
+    if (name != "." && name != "..") names.push_back(std::move(name));
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return Status::Internal(Errno("open", dir));
+  Status st;
+  if (::fsync(fd) != 0) st = Status::Internal(Errno("fsync", dir));
+  ::close(fd);
+  return st;
+}
+
+}  // namespace durability
+}  // namespace dpbr

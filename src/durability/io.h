@@ -1,0 +1,50 @@
+// POSIX file primitives for the durability layer, with the failure modes
+// surfaced as Status instead of aborts: a full disk, a yanked directory or
+// a permission change must degrade the run, never kill it.
+//
+// The one non-trivial primitive is WriteFileAtomic — the temp-file +
+// fsync + rename + directory-fsync sequence that guarantees a reader sees
+// either the complete previous file or the complete new one, regardless of
+// where a crash lands (the standard checkpoint idiom; rename(2) is atomic
+// within a filesystem and the directory fsync persists the name change).
+
+#ifndef DPBR_DURABILITY_IO_H_
+#define DPBR_DURABILITY_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dpbr {
+namespace durability {
+
+/// Creates `path` as a directory when it does not already exist,
+/// building missing parents (mkdir -p). Existing directories are OK.
+Status EnsureDir(const std::string& path);
+
+/// True when `path` names an existing file or directory.
+bool PathExists(const std::string& path);
+
+/// Whole-file read. NotFound when the file does not exist.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Atomically replaces `path` with `contents`: writes `path`.tmp in the
+/// same directory, fsyncs it, renames it over `path` and fsyncs the
+/// parent directory. On any failure the temp file is unlinked and `path`
+/// is left untouched.
+Status WriteFileAtomic(const std::string& path, const std::string& contents);
+
+/// Unlinks `path`; missing files are OK (idempotent cleanup).
+Status RemoveFile(const std::string& path);
+
+/// Names (not paths) of the entries in `dir`, sorted, "."/".." excluded.
+Result<std::vector<std::string>> ListDir(const std::string& dir);
+
+/// fsyncs the directory itself, persisting renames/unlinks inside it.
+Status SyncDir(const std::string& dir);
+
+}  // namespace durability
+}  // namespace dpbr
+
+#endif  // DPBR_DURABILITY_IO_H_

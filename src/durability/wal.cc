@@ -1,0 +1,136 @@
+#include "durability/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "durability/bytes.h"
+#include "durability/crc32.h"
+#include "durability/io.h"
+
+namespace dpbr {
+namespace durability {
+namespace {
+
+constexpr size_t kFrameHeaderBytes = 12;  // magic + length + crc
+
+}  // namespace
+
+WalWriter::WalWriter(WalWriter&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+}
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<WalWriter> WalWriter::Open(const std::string& path, bool truncate) {
+  int flags = O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC;
+  if (truncate) flags |= O_TRUNC;
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    return Status::Internal("open WAL '" + path +
+                            "': " + std::strerror(errno));
+  }
+  return WalWriter(fd, path);
+}
+
+Status WalWriter::Append(const std::string& payload) {
+  if (fd_ < 0) return Status::FailedPrecondition("WAL writer is closed");
+  // One buffer, one write: O_APPEND makes the frame land contiguously
+  // even with concurrent appenders, and a single write gives the kernel
+  // the best shot at an all-or-nothing tail on crash.
+  ByteWriter frame;
+  frame.PutU32(kWalRecordMagic);
+  frame.PutU32(static_cast<uint32_t>(payload.size()));
+  frame.PutU32(Crc32(payload.data(), payload.size()));
+  std::string buf = frame.Take();
+  buf += payload;
+  size_t off = 0;
+  while (off < buf.size()) {
+    ssize_t w = ::write(fd_, buf.data() + off, buf.size() - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("append to WAL '" + path_ +
+                              "': " + std::strerror(errno));
+    }
+    off += static_cast<size_t>(w);
+  }
+  if (::fsync(fd_) != 0) {
+    return Status::Internal("fsync WAL '" + path_ +
+                            "': " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Close() {
+  if (fd_ < 0) return Status::OK();
+  int rc = ::close(fd_);
+  fd_ = -1;
+  if (rc != 0) {
+    return Status::Internal("close WAL '" + path_ +
+                            "': " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<WalReadResult> ReadWal(const std::string& path) {
+  Result<std::string> file = ReadFileToString(path);
+  WalReadResult out;
+  if (!file.ok()) {
+    if (file.status().code() == StatusCode::kNotFound) return out;
+    return file.status();
+  }
+  const std::string& data = file.value();
+  size_t pos = 0;
+  auto damaged = [&](const std::string& why) {
+    out.clean = false;
+    out.damage = why + " at offset " + std::to_string(pos) + " of '" +
+                 path + "' (record " + std::to_string(out.records.size()) +
+                 "); discarding the remaining " +
+                 std::to_string(data.size() - pos) + " byte(s)";
+    return out;
+  };
+  while (pos < data.size()) {
+    if (data.size() - pos < kFrameHeaderBytes) {
+      return damaged("torn frame header");
+    }
+    ByteReader header(data.data() + pos, kFrameHeaderBytes);
+    uint32_t magic = 0, length = 0, crc = 0;
+    // Reads from a 12-byte view cannot fail; ignore the statuses.
+    (void)header.GetU32(&magic);
+    (void)header.GetU32(&length);
+    (void)header.GetU32(&crc);
+    if (magic != kWalRecordMagic) {
+      return damaged("bad record magic");
+    }
+    if (length > data.size() - pos - kFrameHeaderBytes) {
+      return damaged("torn record payload (length " +
+                     std::to_string(length) + " past end of file)");
+    }
+    const char* payload = data.data() + pos + kFrameHeaderBytes;
+    if (Crc32(payload, length) != crc) {
+      return damaged("CRC mismatch");
+    }
+    out.records.emplace_back(payload, length);
+    pos += kFrameHeaderBytes + length;
+    out.valid_bytes = pos;
+  }
+  return out;
+}
+
+}  // namespace durability
+}  // namespace dpbr

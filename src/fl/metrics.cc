@@ -6,12 +6,13 @@ namespace dpbr {
 namespace fl {
 
 std::string TrainingHistory::Summary() const {
-  char buf[160];
+  char buf[192];
   std::snprintf(buf, sizeof(buf),
-                "final_acc=%.3f best_acc=%.3f rounds=%d eps=%.4g sigma=%.3g "
-                "lr=%.4g",
-                final_accuracy, best_accuracy, total_rounds, epsilon, sigma,
-                learning_rate);
+                "final_acc=%.3f best_acc=%.3f rounds=%d/%d eps=%.4g "
+                "sigma=%.3g lr=%.4g%s",
+                final_accuracy, best_accuracy, completed_rounds, total_rounds,
+                epsilon, sigma, learning_rate,
+                interrupted ? " (interrupted)" : "");
   return buf;
 }
 

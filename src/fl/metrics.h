@@ -30,6 +30,13 @@ struct TrainingHistory {
   double epsilon = 0.0;
   double sigma = 0.0;
   double learning_rate = 0.0;
+  /// Rounds actually committed. Equals total_rounds for a run that went
+  /// the distance; smaller when a graceful shutdown stopped it early.
+  int completed_rounds = 0;
+  /// True when the run stopped before total_rounds (graceful shutdown or
+  /// an explicit stop_after_round); resume from the checkpoint directory
+  /// to continue it.
+  bool interrupted = false;
 
   std::string Summary() const;
 };

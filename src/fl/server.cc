@@ -48,6 +48,16 @@ Server::Server(nn::ModelFactory factory, agg::AggregatorPtr aggregator,
   params_ = model->FlatParams();
 }
 
+Status Server::SetParams(std::vector<float> params) {
+  if (params.size() != params_.size()) {
+    return Status::InvalidArgument(
+        "SetParams: got " + std::to_string(params.size()) +
+        " parameters, model has " + std::to_string(params_.size()));
+  }
+  params_ = std::move(params);
+  return Status::OK();
+}
+
 Status Server::Step(RowSpan uploads, double lr,
                     agg::AggregationContext ctx) {
   ctx.dim = params_.size();

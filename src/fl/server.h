@@ -28,6 +28,10 @@ class Server {
   size_t dim() const { return params_.size(); }
   agg::Aggregator* aggregator() { return aggregator_.get(); }
 
+  /// Replaces the global model with snapshotted parameters (checkpoint
+  /// restore). Rejects dimension mismatches.
+  Status SetParams(std::vector<float> params);
+
   /// \brief Runs one aggregation + update step:
   /// w ← w − η·Aggregate(uploads).
   ///

@@ -6,9 +6,12 @@
 
 #include "aggregators/mean.h"
 #include "common/logging.h"
+#include "common/shutdown.h"
 #include "common/thread_pool.h"
 #include "data/partition.h"
 #include "dp/rdp_accountant.h"
+#include "durability/checkpoint.h"
+#include "durability/io.h"
 #include "fl/upload.h"
 
 namespace dpbr {
@@ -186,6 +189,106 @@ Status FederatedTrainer::Setup() {
   return Status::OK();
 }
 
+RoundStateFingerprint FederatedTrainer::Fingerprint() const {
+  RoundStateFingerprint fp;
+  fp.seed = options_.seed;
+  fp.num_honest = options_.num_honest;
+  fp.num_byzantine = options_.num_byzantine;
+  fp.epochs = options_.epochs;
+  fp.batch_size = options_.batch_size;
+  fp.total_rounds = total_rounds_;
+  fp.dim = server_->dim();
+  fp.epsilon = options_.epsilon;
+  fp.client_sampling_rate = options_.client_sampling_rate;
+  fp.momentum_reset =
+      options_.momentum_reset == MomentumReset::kPersist ? 1 : 0;
+  fp.iid = options_.iid ? 1 : 0;
+  return fp;
+}
+
+Result<std::string> FederatedTrainer::CaptureState(
+    int completed_round, const TrainingHistory& history) const {
+  PersistentRoundState state;
+  state.fingerprint = Fingerprint();
+  state.completed_round = completed_round;
+  state.model_params = server_->params();
+  state.honest_momentum.reserve(honest_workers_.size());
+  for (const auto& w : honest_workers_) {
+    state.honest_momentum.push_back(w->momentum());
+    state.worker_rng_keys.push_back(w->rng_key());
+  }
+  state.poisoned_momentum.reserve(poisoned_workers_.size());
+  for (const auto& w : poisoned_workers_) {
+    state.poisoned_momentum.push_back(w->momentum());
+    state.worker_rng_keys.push_back(w->rng_key());
+  }
+  DPBR_RETURN_NOT_OK(
+      server_->aggregator()->SaveState(&state.aggregator_state));
+  state.ledger = ledger_;
+  state.history = history;
+  return EncodeRoundState(state);
+}
+
+Status FederatedTrainer::RestoreFromSnapshot(
+    const PersistentRoundState& state, TrainingHistory* history,
+    int* start_round) {
+  RoundStateFingerprint expected = Fingerprint();
+  if (state.fingerprint != expected) {
+    return Status::FailedPrecondition(
+        "checkpoint belongs to a different experiment: snapshot {" +
+        state.fingerprint.ToString() + "} vs configured {" +
+        expected.ToString() + "}");
+  }
+  if (state.completed_round < 1 ||
+      state.completed_round > total_rounds_) {
+    return Status::InvalidArgument(
+        "checkpoint: implausible completed round " +
+        std::to_string(state.completed_round));
+  }
+  if (state.honest_momentum.size() != honest_workers_.size() ||
+      state.poisoned_momentum.size() != poisoned_workers_.size()) {
+    return Status::InvalidArgument(
+        "checkpoint: momentum lists do not match the worker population");
+  }
+  size_t n_workers = honest_workers_.size() + poisoned_workers_.size();
+  if (state.worker_rng_keys.size() != n_workers) {
+    return Status::InvalidArgument(
+        "checkpoint: RNG key list does not match the worker population");
+  }
+  for (size_t i = 0; i < honest_workers_.size(); ++i) {
+    if (state.worker_rng_keys[i] != honest_workers_[i]->rng_key()) {
+      return Status::FailedPrecondition(
+          "checkpoint: RNG stream derivation changed since the snapshot "
+          "was taken (worker " + std::to_string(i) + ")");
+    }
+  }
+  for (size_t b = 0; b < poisoned_workers_.size(); ++b) {
+    if (state.worker_rng_keys[honest_workers_.size() + b] !=
+        poisoned_workers_[b]->rng_key()) {
+      return Status::FailedPrecondition(
+          "checkpoint: RNG stream derivation changed since the snapshot "
+          "was taken (poisoned worker " + std::to_string(b) + ")");
+    }
+  }
+
+  DPBR_RETURN_NOT_OK(server_->SetParams(state.model_params));
+  for (size_t i = 0; i < honest_workers_.size(); ++i) {
+    DPBR_RETURN_NOT_OK(
+        honest_workers_[i]->RestoreMomentum(state.honest_momentum[i]));
+  }
+  for (size_t b = 0; b < poisoned_workers_.size(); ++b) {
+    DPBR_RETURN_NOT_OK(
+        poisoned_workers_[b]->RestoreMomentum(state.poisoned_momentum[b]));
+  }
+  DPBR_RETURN_NOT_OK(
+      server_->aggregator()->RestoreState(state.aggregator_state));
+  ledger_ = state.ledger;
+  *history = state.history;
+  history->interrupted = false;  // we are continuing it right now
+  *start_round = static_cast<int>(state.completed_round) + 1;
+  return Status::OK();
+}
+
 Result<TrainingHistory> FederatedTrainer::Run() {
   if (!setup_done_) DPBR_RETURN_NOT_OK(Setup());
 
@@ -200,6 +303,44 @@ Result<TrainingHistory> FederatedTrainer::Run() {
   history.sigma = privacy_.dp_enabled ? privacy_.sigma : 0.0;
   history.learning_rate = lr_;
   history.total_rounds = total_rounds_;
+
+  // Fresh spent ledger for this run; a resume below replaces it with the
+  // snapshot's so it always covers the whole experiment.
+  ledger_ = privacy_.dp_enabled
+                ? dp::SpentLedger(options_.client_sampling_rate,
+                                  privacy_.sampling_rate,
+                                  privacy_.noise_multiplier, privacy_.delta)
+                : dp::SpentLedger();
+
+  const bool durable = !options_.checkpoint_dir.empty();
+  int start_round = 1;
+  if (durable) {
+    if (options_.checkpoint_every_n_rounds < 1) {
+      return Status::InvalidArgument(
+          "checkpoint_every_n_rounds must be >= 1");
+    }
+    InstallGracefulShutdownHandler();
+    DPBR_RETURN_NOT_OK(durability::EnsureDir(options_.checkpoint_dir));
+    DPBR_ASSIGN_OR_RETURN(DurableRunState dstate,
+                          LoadDurableState(options_.checkpoint_dir));
+    if (dstate.has_snapshot) {
+      DPBR_RETURN_NOT_OK(
+          RestoreFromSnapshot(dstate.snapshot, &history, &start_round));
+      DPBR_LOG_STREAM(Info) << "resuming after committed round "
+                     << dstate.snapshot.completed_round << " of "
+                     << total_rounds_ << " (" << ledger_.ToString() << ")";
+    } else if (!dstate.wal_records.empty() || !dstate.wal_clean) {
+      DPBR_LOG_STREAM(Warning)
+          << "no usable checkpoint; restarting from round 1 "
+             "(deterministic, so the rerun reproduces the lost rounds)";
+    }
+    // Records at or before the snapshot are subsumed by it; later rounds
+    // are about to be re-executed deterministically and re-logged. Start
+    // the log fresh so it never disagrees with the snapshots next to it.
+    DPBR_ASSIGN_OR_RETURN(
+        wal_, durability::WalWriter::Open(WalPath(options_.checkpoint_dir),
+                                          /*truncate=*/true));
+  }
 
   data::DatasetView test = data::DatasetView::All(&bundle_->test);
   int eval_every = std::max(
@@ -217,7 +358,7 @@ Result<TrainingHistory> FederatedTrainer::Run() {
   cohort.reserve(n_honest);
   std::vector<int> client_ids;
 
-  for (int round = 1; round <= total_rounds_; ++round) {
+  for (int round = start_round; round <= total_rounds_; ++round) {
     const std::vector<float>& params = server_->params();
 
     // Poisson cohort: each honest worker joins independently with
@@ -302,7 +443,8 @@ Result<TrainingHistory> FederatedTrainer::Run() {
     // aggregation entirely: the model is unchanged and the accountant's
     // per-round charge stands (conservative).
 
-    if (round % eval_every == 0 || round == total_rounds_) {
+    bool evaluated = round % eval_every == 0 || round == total_rounds_;
+    if (evaluated) {
       EvalPoint p;
       p.round = round;
       p.epoch = static_cast<double>(round) / rounds_per_epoch_;
@@ -311,7 +453,44 @@ Result<TrainingHistory> FederatedTrainer::Run() {
       history.best_accuracy = std::max(history.best_accuracy,
                                        p.test_accuracy);
     }
+
+    // --- Commit the round. ---
+    ledger_.ChargeRound(round);
+    history.completed_rounds = round;
+    const bool final_round = round == total_rounds_;
+    const bool stop_requested =
+        ShutdownRequested() || (options_.stop_after_round >= 0 &&
+                                round >= options_.stop_after_round);
+    if (durable) {
+      RoundCommitRecord rec;
+      rec.round = round;
+      rec.participants = static_cast<int64_t>(cohort.size());
+      rec.has_eval = evaluated ? 1 : 0;
+      if (evaluated) {
+        rec.eval_epoch = history.evals.back().epoch;
+        rec.eval_accuracy = history.evals.back().test_accuracy;
+      }
+      DPBR_RETURN_NOT_OK(wal_.Append(rec.Encode()));
+      if (final_round || stop_requested ||
+          round % options_.checkpoint_every_n_rounds == 0) {
+        DPBR_ASSIGN_OR_RETURN(std::string payload,
+                              CaptureState(round, history));
+        DPBR_RETURN_NOT_OK(durability::WriteCheckpoint(
+            options_.checkpoint_dir, round, payload));
+      }
+    }
+    if (stop_requested && !final_round) {
+      // Graceful shutdown: the round in flight finished and (when
+      // durable) its checkpoint is on disk; report the partial history
+      // instead of dying mid-run.
+      history.interrupted = true;
+      DPBR_LOG_STREAM(Info) << "stopping after round " << round << " of "
+                     << total_rounds_
+                     << (durable ? " (final checkpoint written)" : "");
+      break;
+    }
   }
+  if (durable) DPBR_RETURN_NOT_OK(wal_.Close());
   if (!history.evals.empty()) {
     history.final_accuracy = history.evals.back().test_accuracy;
   }

@@ -16,8 +16,11 @@
 #include "common/status.h"
 #include "data/dataset.h"
 #include "dp/privacy_params.h"
+#include "dp/spent_ledger.h"
+#include "durability/wal.h"
 #include "fl/attack_interface.h"
 #include "fl/metrics.h"
+#include "fl/round_state.h"
 #include "fl/server.h"
 #include "fl/worker.h"
 #include "nn/sequential.h"
@@ -65,6 +68,20 @@ struct TrainerOptions {
   uint64_t seed = 1;
   /// Evaluate every `eval_every_epochs` epochs (and always at the end).
   double eval_every_epochs = 1.0;
+
+  // Durability (docs/durability.md). With a checkpoint directory set the
+  // trainer appends one WAL commit record per round, snapshots the full
+  // cross-round state every `checkpoint_every_n_rounds` rounds (and at
+  // the final or an interrupted round), installs the graceful-shutdown
+  // signal handler, and — when the directory already holds a snapshot of
+  // the SAME experiment — resumes after its last committed round instead
+  // of starting over. Empty (the default) disables all of it.
+  std::string checkpoint_dir;
+  int checkpoint_every_n_rounds = 1;
+  /// Testing hook: commit this round, write a final checkpoint, and
+  /// return early with history.interrupted = true — a deterministic
+  /// stand-in for SIGINT landing between rounds. < 0 disables.
+  int stop_after_round = -1;
 };
 
 /// Orchestrates one federated run.
@@ -88,9 +105,22 @@ class FederatedTrainer {
   /// The server (non-null after Run() or a successful Setup()); exposed so
   /// tests and diagnostics can inspect the trained model.
   Server* server() { return server_.get(); }
+  /// Privacy budget actually spent by the last Run() (resume-aware: after
+  /// a resumed run it covers the whole experiment, not just the tail).
+  const dp::SpentLedger& spent_ledger() const { return ledger_; }
 
  private:
   Status Setup();
+  /// Configuration identity for checkpoint compatibility checks.
+  RoundStateFingerprint Fingerprint() const;
+  /// Snapshots the full cross-round state after `completed_round`.
+  Result<std::string> CaptureState(int completed_round,
+                                   const TrainingHistory& history) const;
+  /// Restores a snapshot into the live objects; on success `*history`
+  /// holds the snapshot's history prefix and `*start_round` the first
+  /// round still to run.
+  Status RestoreFromSnapshot(const PersistentRoundState& state,
+                             TrainingHistory* history, int* start_round);
 
   const data::DatasetBundle* bundle_;
   nn::ModelFactory model_factory_;
@@ -110,6 +140,11 @@ class FederatedTrainer {
   int total_rounds_ = 0;
   int rounds_per_epoch_ = 0;
   bool setup_done_ = false;
+
+  /// Privacy budget committed so far (rebuilt or restored by Run()).
+  dp::SpentLedger ledger_;
+  /// Open WAL handle while a durable Run() is in flight.
+  durability::WalWriter wal_;
 };
 
 /// Convenience: the paper's Reference Accuracy configuration (DP enabled,

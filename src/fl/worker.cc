@@ -110,5 +110,25 @@ void HonestDpWorker::ComputeUpdateInto(
   }
 }
 
+Status HonestDpWorker::RestoreMomentum(
+    const std::vector<std::vector<float>>& momentum) {
+  if (momentum.size() != momentum_.size()) {
+    return Status::InvalidArgument(
+        "momentum restore: snapshot has " +
+        std::to_string(momentum.size()) + " slots, worker expects " +
+        std::to_string(momentum_.size()));
+  }
+  for (const auto& slot : momentum) {
+    if (slot.size() != dim_) {
+      return Status::InvalidArgument(
+          "momentum restore: slot dimension " +
+          std::to_string(slot.size()) + " != model dimension " +
+          std::to_string(dim_));
+    }
+  }
+  momentum_ = momentum;
+  return Status::OK();
+}
+
 }  // namespace fl
 }  // namespace dpbr

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "data/dataset.h"
 #include "nn/sequential.h"
 
@@ -61,6 +62,21 @@ class HonestDpWorker {
   int id() const { return id_; }
   size_t dim() const { return dim_; }
   size_t shard_size() const { return shard_.size(); }
+  /// Key of this worker's RNG stream (its per-round streams derive from
+  /// it); persisted in checkpoints so recovery can verify the derivation
+  /// chain before trusting a snapshot.
+  uint64_t rng_key() const { return seed_; }
+
+  /// Momentum list φ (batch_size slots × dim) — the worker's only
+  /// cross-round state, snapshotted by the durable trainer.
+  const std::vector<std::vector<float>>& momentum() const {
+    return momentum_;
+  }
+
+  /// Replaces φ with a snapshotted list. Rejects shape mismatches (wrong
+  /// slot count or slot dimension) so a checkpoint from a different
+  /// configuration can never be loaded silently.
+  Status RestoreMomentum(const std::vector<std::vector<float>>& momentum);
 
  private:
   int id_;

@@ -29,5 +29,24 @@ void Sgd::Step() {
   }
 }
 
+Status Sgd::RestoreBuffers(
+    const std::vector<std::vector<float>>& buffers) {
+  if (buffers.size() != buffers_.size()) {
+    return Status::InvalidArgument(
+        "Sgd restore: snapshot has " + std::to_string(buffers.size()) +
+        " buffers, model has " + std::to_string(buffers_.size()));
+  }
+  for (size_t k = 0; k < buffers.size(); ++k) {
+    if (buffers[k].size() != buffers_[k].size()) {
+      return Status::InvalidArgument(
+          "Sgd restore: buffer " + std::to_string(k) + " has " +
+          std::to_string(buffers[k].size()) + " elements, expected " +
+          std::to_string(buffers_[k].size()));
+    }
+  }
+  buffers_ = buffers;
+  return Status::OK();
+}
+
 }  // namespace nn
 }  // namespace dpbr

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "common/status.h"
 #include "nn/sequential.h"
 
 namespace dpbr {
@@ -22,6 +23,14 @@ class Sgd {
 
   void set_lr(double lr) { lr_ = lr; }
   double lr() const { return lr_; }
+
+  /// Momentum buffers, one per ParamView (empty vectors never shrink —
+  /// momentum == 0 still allocates them); snapshotted by durable runs.
+  const std::vector<std::vector<float>>& buffers() const { return buffers_; }
+
+  /// Replaces the momentum buffers with snapshotted ones. Rejects any
+  /// shape mismatch against the model's parameter layout.
+  Status RestoreBuffers(const std::vector<std::vector<float>>& buffers);
 
  private:
   Sequential* model_;  // not owned

@@ -1,0 +1,182 @@
+// Snapshot checkpoint tests: atomic write/read round trips, newest-first
+// recovery that degrades past corrupt files, and retention pruning.
+
+#include "durability/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "durability/io.h"
+
+namespace dpbr {
+namespace durability {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string tmpl = ::testing::TempDir() + "dpbr_ckpt_XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    ASSERT_NE(mkdtemp(buf.data()), nullptr);
+    dir_ = buf.data();
+  }
+
+  void TearDown() override {
+    auto names = ListDir(dir_);
+    if (names.ok()) {
+      for (const auto& n : names.value()) RemoveFile(dir_ + "/" + n);
+    }
+    rmdir(dir_.c_str());
+  }
+
+  void Corrupt(int64_t round, size_t offset_from_end, char mask) {
+    std::string path = CheckpointPath(dir_, round);
+    auto data = ReadFileToString(path);
+    ASSERT_TRUE(data.ok());
+    std::string raw = std::move(data).value();
+    ASSERT_GE(raw.size(), offset_from_end + 1);
+    raw[raw.size() - 1 - offset_from_end] ^= mask;
+    ASSERT_TRUE(WriteFileAtomic(path, raw).ok());
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CheckpointTest, RoundTripsPayload) {
+  std::string payload = "model-state-bytes\0with-nul";
+  ASSERT_TRUE(WriteCheckpoint(dir_, 3, payload).ok());
+  auto loaded = LoadLatestCheckpoint(dir_);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(loaded.value().found);
+  EXPECT_EQ(loaded.value().checkpoint.round, 3);
+  EXPECT_EQ(loaded.value().checkpoint.payload, payload);
+  EXPECT_EQ(loaded.value().checkpoint.skipped_corrupt, 0);
+}
+
+TEST_F(CheckpointTest, EmptyOrMissingDirectoryFindsNothing) {
+  auto missing = LoadLatestCheckpoint(dir_ + "/nonexistent");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_FALSE(missing.value().found);
+  auto empty = LoadLatestCheckpoint(dir_);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(empty.value().found);
+}
+
+TEST_F(CheckpointTest, NewestRoundWins) {
+  ASSERT_TRUE(WriteCheckpoint(dir_, 2, "round2").ok());
+  ASSERT_TRUE(WriteCheckpoint(dir_, 10, "round10").ok());
+  auto loaded = LoadLatestCheckpoint(dir_);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(loaded.value().found);
+  EXPECT_EQ(loaded.value().checkpoint.round, 10);
+  EXPECT_EQ(loaded.value().checkpoint.payload, "round10");
+}
+
+TEST_F(CheckpointTest, CorruptNewestFallsBackToOlder) {
+  ASSERT_TRUE(WriteCheckpoint(dir_, 4, "older-good").ok());
+  ASSERT_TRUE(WriteCheckpoint(dir_, 5, "newer-corrupt").ok());
+  Corrupt(5, 0, 0x01);  // bit-flip inside the newest payload
+  auto loaded = LoadLatestCheckpoint(dir_);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(loaded.value().found);
+  EXPECT_EQ(loaded.value().checkpoint.round, 4);
+  EXPECT_EQ(loaded.value().checkpoint.payload, "older-good");
+  EXPECT_EQ(loaded.value().checkpoint.skipped_corrupt, 1);
+}
+
+TEST_F(CheckpointTest, AllCorruptFindsNothing) {
+  ASSERT_TRUE(WriteCheckpoint(dir_, 1, "a").ok());
+  ASSERT_TRUE(WriteCheckpoint(dir_, 2, "b").ok());
+  Corrupt(1, 0, 0x01);
+  Corrupt(2, 0, 0x01);
+  auto loaded = LoadLatestCheckpoint(dir_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(loaded.value().found);
+}
+
+TEST_F(CheckpointTest, RetentionKeepsNewestTwo) {
+  for (int64_t r = 1; r <= 5; ++r) {
+    ASSERT_TRUE(
+        WriteCheckpoint(dir_, r, "round" + std::to_string(r)).ok());
+  }
+  EXPECT_FALSE(PathExists(CheckpointPath(dir_, 3)));
+  EXPECT_TRUE(PathExists(CheckpointPath(dir_, 4)));
+  EXPECT_TRUE(PathExists(CheckpointPath(dir_, 5)));
+}
+
+TEST_F(CheckpointTest, TmpDebrisIsIgnored) {
+  ASSERT_TRUE(WriteCheckpoint(dir_, 7, "good").ok());
+  // Simulate a crash mid-write of a newer checkpoint: orphaned temp file.
+  ASSERT_TRUE(WriteFileAtomic(CheckpointPath(dir_, 8) + ".tmp",
+                              "half-written")
+                  .ok());
+  auto loaded = LoadLatestCheckpoint(dir_);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(loaded.value().found);
+  EXPECT_EQ(loaded.value().checkpoint.round, 7);
+}
+
+TEST_F(CheckpointTest, BadMagicIsRejected) {
+  ASSERT_TRUE(WriteCheckpoint(dir_, 1, "payload").ok());
+  std::string path = CheckpointPath(dir_, 1);
+  auto data = ReadFileToString(path);
+  ASSERT_TRUE(data.ok());
+  std::string raw = std::move(data).value();
+  raw[0] ^= 0xFF;  // magic lives at the front
+  ASSERT_TRUE(WriteFileAtomic(path, raw).ok());
+  auto payload = ReadCheckpointPayload(path);
+  ASSERT_FALSE(payload.ok());
+  EXPECT_NE(payload.status().message().find("magic"), std::string::npos);
+}
+
+TEST_F(CheckpointTest, ShortFileIsRejected) {
+  ASSERT_TRUE(WriteFileAtomic(CheckpointPath(dir_, 1), "tiny").ok());
+  auto payload = ReadCheckpointPayload(CheckpointPath(dir_, 1));
+  ASSERT_FALSE(payload.ok());
+  EXPECT_NE(payload.status().message().find("header"), std::string::npos);
+}
+
+TEST_F(CheckpointTest, TruncatedPayloadIsRejected) {
+  ASSERT_TRUE(WriteCheckpoint(dir_, 1, "a-long-enough-payload").ok());
+  std::string path = CheckpointPath(dir_, 1);
+  auto data = ReadFileToString(path);
+  ASSERT_TRUE(data.ok());
+  std::string raw = std::move(data).value();
+  ASSERT_TRUE(WriteFileAtomic(path, raw.substr(0, raw.size() - 3)).ok());
+  auto payload = ReadCheckpointPayload(path);
+  ASSERT_FALSE(payload.ok());
+  EXPECT_NE(payload.status().message().find("length"), std::string::npos);
+}
+
+TEST_F(CheckpointTest, EnsureDirBuildsMissingParents) {
+  // Experiment sweeps nest per-seed subdirectories under a base the
+  // user names; all missing levels must be created (mkdir -p).
+  std::string nested = dir_ + "/sweep/seed1";
+  ASSERT_TRUE(EnsureDir(nested).ok());
+  EXPECT_TRUE(PathExists(nested));
+  // Idempotent on an existing directory.
+  EXPECT_TRUE(EnsureDir(nested).ok());
+  // A file in the way is a configuration error, not a crash.
+  std::string file_path = dir_ + "/sweep/seed1/blocker";
+  ASSERT_TRUE(WriteFileAtomic(file_path, "x").ok());
+  EXPECT_EQ(EnsureDir(file_path).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(RemoveFile(file_path).ok());
+  rmdir(nested.c_str());
+  rmdir((dir_ + "/sweep").c_str());
+}
+
+TEST_F(CheckpointTest, MissingFileIsNotFound) {
+  auto payload = ReadCheckpointPayload(CheckpointPath(dir_, 42));
+  ASSERT_FALSE(payload.ok());
+  EXPECT_EQ(payload.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace durability
+}  // namespace dpbr
