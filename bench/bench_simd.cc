@@ -1,0 +1,176 @@
+// SIMD-vs-scalar microbenchmarks (google-benchmark) for the dispatched
+// kernel layer: each hot kernel runs twice — once on the active (best
+// detected) table and once pinned to the scalar reference via
+// ScopedForceIsa — so the ratio between the pair is machine-independent
+// and gateable. scripts/check_bench_regression.py enforces >= 1.5x
+// floors on the GEMM microkernel, the ReLU sweep, and the Krum distance
+// scan (the ziggurat pair is reported but ungated: its win is
+// acceptance-rate-bound, not width-bound).
+//
+// Before timing, main() asserts the active table agrees bitwise with
+// the scalar reference on a dot/axpy spot check, mirroring the
+// determinism preambles of bench_micro and bench_nn.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/simd.h"
+#include "nn/gemm.h"
+
+namespace {
+
+using namespace dpbr;
+
+std::vector<float> RandomVec(size_t n, uint64_t seed) {
+  SplitRng rng(seed);
+  std::vector<float> v(n);
+  rng.FillGaussian(v.data(), n, 1.0);
+  return v;
+}
+
+// --- GEMM microkernel at the conv-lowered acceptance shape:
+// (32 x 27) . (27 x 1024), the same shape BM_GemmConvShape times.
+
+void GemmConvShape(benchmark::State& state, simd::IsaLevel level) {
+  simd::ScopedForceIsa force(level);
+  constexpr size_t m = 32, k = 27, n = 1024;
+  std::vector<float> a = RandomVec(m * k, 9);
+  std::vector<float> b = RandomVec(k * n, 10);
+  std::vector<float> c(m * n);
+  for (auto _ : state) {
+    nn::GemmNN(m, k, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * k * n);
+}
+
+void BM_SimdGemmConvShape(benchmark::State& state) {
+  GemmConvShape(state, simd::DetectedIsa());
+}
+BENCHMARK(BM_SimdGemmConvShape)->Unit(benchmark::kMicrosecond);
+
+void BM_ScalarGemmConvShape(benchmark::State& state) {
+  GemmConvShape(state, simd::IsaLevel::kScalar);
+}
+BENCHMARK(BM_ScalarGemmConvShape)->Unit(benchmark::kMicrosecond);
+
+// --- ReLU element sweep over an L1/L2-resident activation block. The
+// kernel is branch-free compare-and-zero on every tier, so the timing
+// is data-independent even though ReLU is idempotent in place.
+
+constexpr size_t kSweepN = 16384;
+
+void ReluSweep(benchmark::State& state, simd::IsaLevel level) {
+  simd::ScopedForceIsa force(level);
+  const simd::SimdKernels& kern = simd::Kernels();
+  std::vector<float> y = RandomVec(kSweepN, 21);
+  for (auto _ : state) {
+    kern.relu_f32(y.data(), kSweepN);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kSweepN);
+}
+
+void BM_SimdReluSweep(benchmark::State& state) {
+  ReluSweep(state, simd::DetectedIsa());
+}
+BENCHMARK(BM_SimdReluSweep)->Unit(benchmark::kMicrosecond);
+
+void BM_ScalarReluSweep(benchmark::State& state) {
+  ReluSweep(state, simd::IsaLevel::kScalar);
+}
+BENCHMARK(BM_ScalarReluSweep)->Unit(benchmark::kMicrosecond);
+
+// --- Krum distance scan: one pairwise distsq8_f64 over an
+// acceptance-scale upload row (100k coordinates), the unit of work
+// inside the Krum distance-matrix tiles.
+
+constexpr size_t kDim = 100000;
+
+void KrumDistScan(benchmark::State& state, simd::IsaLevel level) {
+  simd::ScopedForceIsa force(level);
+  const simd::SimdKernels& kern = simd::Kernels();
+  std::vector<float> a = RandomVec(kDim, 33);
+  std::vector<float> b = RandomVec(kDim, 34);
+  for (auto _ : state) {
+    double d = kern.distsq8_f64(a.data(), b.data(), kDim);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetItemsProcessed(state.iterations() * kDim);
+}
+
+void BM_SimdKrumDistScan(benchmark::State& state) {
+  KrumDistScan(state, simd::DetectedIsa());
+}
+BENCHMARK(BM_SimdKrumDistScan)->Unit(benchmark::kMicrosecond);
+
+void BM_ScalarKrumDistScan(benchmark::State& state) {
+  KrumDistScan(state, simd::IsaLevel::kScalar);
+}
+BENCHMARK(BM_ScalarKrumDistScan)->Unit(benchmark::kMicrosecond);
+
+// --- Ziggurat bulk fill (1M draws): the batched fast-path kernel
+// against the scalar rejection loop, same output stream bit for bit.
+
+constexpr size_t kFillN = size_t{1} << 20;
+
+void ZigguratFill(benchmark::State& state, simd::IsaLevel level) {
+  simd::ScopedForceIsa force(level);
+  std::vector<float> out(kFillN);
+  SplitRng rng(77, {1});
+  for (auto _ : state) {
+    rng.FillGaussian(out.data(), kFillN, 1.0);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kFillN);
+}
+
+void BM_SimdZigguratFill(benchmark::State& state) {
+  ZigguratFill(state, simd::DetectedIsa());
+}
+BENCHMARK(BM_SimdZigguratFill)->Unit(benchmark::kMillisecond);
+
+void BM_ScalarZigguratFill(benchmark::State& state) {
+  ZigguratFill(state, simd::IsaLevel::kScalar);
+}
+BENCHMARK(BM_ScalarZigguratFill)->Unit(benchmark::kMillisecond);
+
+// Spot-checks the bitwise dispatch contract before timing anything, so
+// a broken tier fails loudly here instead of publishing bogus ratios.
+void CheckDispatchBitwise() {
+  const simd::SimdKernels& active = simd::Kernels();
+  const simd::SimdKernels* scalar = simd::KernelsFor(simd::IsaLevel::kScalar);
+  const size_t n = 1237;
+  std::vector<float> a = RandomVec(n, 1), b = RandomVec(n, 2);
+  float da = active.dot8_f32(a.data(), b.data(), n);
+  float ds = scalar->dot8_f32(a.data(), b.data(), n);
+  std::vector<float> ya = a, ys = a;
+  active.axpy_f32(0.7f, b.data(), ya.data(), n);
+  scalar->axpy_f32(0.7f, b.data(), ys.data(), n);
+  if (std::memcmp(&da, &ds, sizeof(float)) != 0 ||
+      std::memcmp(ya.data(), ys.data(), n * sizeof(float)) != 0) {
+    std::fprintf(stderr,
+                 "FATAL: %s kernels disagree with the scalar reference\n",
+                 simd::IsaName(active.isa));
+    std::exit(1);
+  }
+  std::printf("simd dispatch: active tier %s (detected %s)\n",
+              simd::IsaName(simd::ActiveIsa()),
+              simd::IsaName(simd::DetectedIsa()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CheckDispatchBitwise();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

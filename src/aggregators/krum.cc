@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/simd.h"
 #include "common/thread_pool.h"
 
 namespace dpbr {
@@ -26,16 +27,15 @@ Result<std::vector<float>> KrumAggregator::Aggregate(
   // per-pair arithmetic is schedule-independent. Rows are processed in
   // mirrored pairs (t, n-1-t) — n-1 pairs per task — because row length
   // shrinks with i and ParallelFor chunks the index range contiguously.
+  // Each pair's distance is one simd distsq8_f64 call: a pinned 8-lane
+  // double fold whose value depends only on dim — identical across pool
+  // sizes and dispatch tiers (ISA changes the speed, never the bits).
   std::vector<double> d2(n * n, 0.0);
+  const simd::SimdKernels& kern = simd::Kernels();
   auto distance_row = [&](size_t i) {
     const float* a = uploads.Row(i);
     for (size_t j = i + 1; j < n; ++j) {
-      const float* b = uploads.Row(j);
-      double s = 0.0;
-      for (size_t k = 0; k < ctx.dim; ++k) {
-        double diff = static_cast<double>(a[k]) - b[k];
-        s += diff * diff;
-      }
+      double s = kern.distsq8_f64(a, uploads.Row(j), ctx.dim);
       d2[i * n + j] = s;
       d2[j * n + i] = s;
     }

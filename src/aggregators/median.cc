@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/simd.h"
 #include "common/thread_pool.h"
 
 namespace dpbr {
@@ -27,13 +28,14 @@ Result<std::vector<float>> CoordinateMedianAggregator::Aggregate(
   // cache-resident columns. Coordinates are independent, so the blocked
   // split is shape-only.
   size_t width = SelectionTileWidth(n);
+  const simd::SimdKernels& kern = simd::Kernels();
   ParallelForBlocked(ctx.dim, width, [&](size_t lo, size_t hi_end) {
     size_t cols = hi_end - lo;
     std::vector<float> tile(cols * n);
-    for (size_t i = 0; i < n; ++i) {
-      const float* row = uploads.Row(i);
-      for (size_t j = lo; j < hi_end; ++j) tile[(j - lo) * n + i] = row[j];
-    }
+    // The gather is a strided transpose (pure data movement, bitwise by
+    // construction): row i's columns [lo, hi) land in tile column j - lo.
+    kern.transpose_f32(uploads.Row(0) + lo, uploads.dim, n, cols,
+                       tile.data(), n);
     for (size_t j = lo; j < hi_end; ++j) {
       float* column = tile.data() + (j - lo) * n;
       size_t mid = n / 2;

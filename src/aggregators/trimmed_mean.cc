@@ -5,6 +5,7 @@
 
 #include "aggregators/median.h"
 #include "common/logging.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 
 namespace dpbr {
@@ -27,18 +28,20 @@ Result<std::vector<float>> TrimmedMeanAggregator::Aggregate(
   // Chunked column-major tiles (see median.cc): gather `width` contiguous
   // columns into scratch, then sort and trim each column independently.
   size_t width = SelectionTileWidth(n);
+  const simd::SimdKernels& kern = simd::Kernels();
   ParallelForBlocked(ctx.dim, width, [&](size_t lo, size_t hi) {
     size_t cols = hi - lo;
     std::vector<float> tile(cols * n);
-    for (size_t i = 0; i < n; ++i) {
-      const float* row = uploads.Row(i);
-      for (size_t j = lo; j < hi; ++j) tile[(j - lo) * n + i] = row[j];
-    }
+    // Strided-transpose gather (bitwise by construction), then the
+    // surviving slice sums through the pinned 8-lane fold — the value
+    // depends only on (n, k), never on the pool size or the dispatch
+    // tier.
+    kern.transpose_f32(uploads.Row(0) + lo, uploads.dim, n, cols,
+                       tile.data(), n);
     for (size_t j = lo; j < hi; ++j) {
       float* column = tile.data() + (j - lo) * n;
       std::sort(column, column + n);
-      double s = 0.0;
-      for (size_t i = k; i < n - k; ++i) s += column[i];
+      double s = kern.sum8_f64(column + k, n - 2 * k);
       out[j] = static_cast<float>(s / static_cast<double>(n - 2 * k));
     }
   });

@@ -1,9 +1,55 @@
 #include "common/flags.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <sstream>
 
 namespace dpbr {
+namespace {
+
+// strtod/strtoll accept out-of-range input: they clamp the result
+// (±HUGE_VAL for doubles) and only report the problem through
+// errno == ERANGE. Without the check, --eps=1e999 silently became an
+// infinite privacy budget. Both helpers reject empty input, trailing
+// garbage, overflow and underflow with a message naming the flag.
+Result<double> ParseDouble(const std::string& name, const std::string& s) {
+  if (s.empty()) {
+    return Status::InvalidArgument("flag --" + name + " has an empty value");
+  }
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end == nullptr || end == s.c_str() || *end != '\0') {
+    return Status::InvalidArgument("flag --" + name +
+                                   " is not a number: " + s);
+  }
+  if (errno == ERANGE) {
+    return Status::InvalidArgument(
+        "flag --" + name + " is out of double range (overflow/underflow): " +
+        s);
+  }
+  return v;
+}
+
+Result<int64_t> ParseInt(const std::string& name, const std::string& s) {
+  if (s.empty()) {
+    return Status::InvalidArgument("flag --" + name + " has an empty value");
+  }
+  errno = 0;
+  char* end = nullptr;
+  int64_t v = std::strtoll(s.c_str(), &end, 10);
+  if (end == nullptr || end == s.c_str() || *end != '\0') {
+    return Status::InvalidArgument("flag --" + name +
+                                   " is not an integer: " + s);
+  }
+  if (errno == ERANGE) {
+    return Status::InvalidArgument("flag --" + name +
+                                   " is out of int64 range: " + s);
+  }
+  return v;
+}
+
+}  // namespace
 
 Flags Flags::Parse(int argc, char** argv) {
   Flags flags;
@@ -43,17 +89,15 @@ std::string Flags::GetString(const std::string& name,
 int64_t Flags::GetInt(const std::string& name, int64_t default_value) const {
   auto it = values_.find(name);
   if (it == values_.end()) return default_value;
-  char* end = nullptr;
-  int64_t v = std::strtoll(it->second.c_str(), &end, 10);
-  return (end == nullptr || *end != '\0') ? default_value : v;
+  Result<int64_t> r = ParseInt(name, it->second);
+  return r.ok() ? r.value() : default_value;
 }
 
 double Flags::GetDouble(const std::string& name, double default_value) const {
   auto it = values_.find(name);
   if (it == values_.end()) return default_value;
-  char* end = nullptr;
-  double v = std::strtod(it->second.c_str(), &end);
-  return (end == nullptr || *end != '\0') ? default_value : v;
+  Result<double> r = ParseDouble(name, it->second);
+  return r.ok() ? r.value() : default_value;
 }
 
 bool Flags::GetBool(const std::string& name, bool default_value) const {
@@ -69,13 +113,14 @@ Result<int64_t> Flags::GetIntOrStatus(const std::string& name,
                                       int64_t default_value) const {
   auto it = values_.find(name);
   if (it == values_.end()) return default_value;
-  char* end = nullptr;
-  int64_t v = std::strtoll(it->second.c_str(), &end, 10);
-  if (end == nullptr || *end != '\0') {
-    return Status::InvalidArgument("flag --" + name +
-                                   " is not an integer: " + it->second);
-  }
-  return v;
+  return ParseInt(name, it->second);
+}
+
+Result<double> Flags::GetDoubleOrStatus(const std::string& name,
+                                        double default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return ParseDouble(name, it->second);
 }
 
 std::vector<double> Flags::GetDoubleList(
@@ -87,10 +132,9 @@ std::vector<double> Flags::GetDoubleList(
   std::string tok;
   while (std::getline(ss, tok, ',')) {
     if (tok.empty()) continue;
-    char* end = nullptr;
-    double v = std::strtod(tok.c_str(), &end);
-    if (end == nullptr || *end != '\0') return default_value;
-    out.push_back(v);
+    Result<double> v = ParseDouble(name, tok);
+    if (!v.ok()) return default_value;
+    out.push_back(v.value());
   }
   return out.empty() ? default_value : out;
 }

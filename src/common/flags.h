@@ -24,17 +24,24 @@ class Flags {
 
   bool Has(const std::string& name) const;
 
-  /// Typed accessors with defaults. Parse errors fall back to the default
-  /// (and are surfaced by GetOrStatus for callers that must validate).
+  /// Typed accessors with defaults. Parse errors — including trailing
+  /// garbage and out-of-range values (strtod/strtoll ERANGE overflow or
+  /// underflow) — fall back to the default; an out-of-range literal like
+  /// 1e999 is never silently accepted as HUGE_VAL. The *OrStatus
+  /// accessors surface the same failures as errors for callers that must
+  /// validate.
   std::string GetString(const std::string& name,
                         const std::string& default_value) const;
   int64_t GetInt(const std::string& name, int64_t default_value) const;
   double GetDouble(const std::string& name, double default_value) const;
   bool GetBool(const std::string& name, bool default_value) const;
 
-  /// Strict integer accessor; error when present but unparseable.
+  /// Strict accessors; error when present but unparseable or out of
+  /// range.
   Result<int64_t> GetIntOrStatus(const std::string& name,
                                  int64_t default_value) const;
+  Result<double> GetDoubleOrStatus(const std::string& name,
+                                   double default_value) const;
 
   /// Comma-separated list of doubles, e.g. --eps=0.125,0.25,2.
   std::vector<double> GetDoubleList(

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 
 namespace dpbr {
@@ -175,16 +176,35 @@ void SplitRng::BulkGaussian(float* data, size_t n, double stddev,
   // One parent draw keys the whole fill; block b then draws from the
   // independent child stream SplitRng(base, {b}). Block boundaries depend
   // only on n, so the output is bit-identical under any pool size.
+  //
+  // The SplitMix64 stream is a pure function of (key, counter), so the
+  // SIMD batch kernel (when the active tier has one) can compute several
+  // candidate draws at once and commit the accepted prefix; it stops at
+  // the first draw needing the exact wedge/tail fallback, which the
+  // scalar sampler then re-derives from the same counter. The output
+  // stream is bit-identical either way.
   uint64_t base = Next64();
+  const simd::SimdKernels& kern = simd::Kernels();
+  const ZigguratTables& t = Ziggurat();
   ParallelForBlocked(n, kGaussianFillBlock, [&](size_t lo, size_t hi) {
     SplitRng block(base, {static_cast<uint64_t>(lo / kGaussianFillBlock)});
-    for (size_t i = lo; i < hi; ++i) {
+    size_t i = lo;
+    while (i < hi) {
+      if (kern.zig_try_fill_f32 != nullptr) {
+        size_t got =
+            kern.zig_try_fill_f32(block.key_, block.counter_, t.w, t.k,
+                                  stddev, accumulate, data + i, hi - i);
+        block.counter_ += got;
+        i += got;
+        if (i >= hi) break;
+      }
       float g = static_cast<float>(stddev * block.GaussianZiggurat());
       if (accumulate) {
         data[i] += g;
       } else {
         data[i] = g;
       }
+      ++i;
     }
   });
 }

@@ -1,0 +1,373 @@
+// Width-templated intrinsic traits and the generic kernels built on them.
+//
+// Included ONLY by the per-ISA translation units (simd_sse2.cc,
+// simd_avx2.cc, simd_avx512.cc), each compiled with exactly the -m flags
+// its trait needs; simd.h stays intrinsic-free. Every trait exposes the
+// same static interface:
+//
+//   VF / kF        native float vector type / lane count
+//   VD / kD        native double vector type / lane count (kD = kF / 2)
+//   MF             float compare-mask type (vector or AVX-512 k-mask)
+//   Set1F/LoadF/StoreF/AddF/SubF/MulF        float vector ops (never FMA)
+//   Set1D/AddD/SubD/MulD                     double vector ops
+//   CvtLoF2D/CvtHiF2D/CvtD2F                 float<->double widen/narrow
+//   CmpLtZeroF/CmpLeZeroF/CmpEqZeroF         ordered compares vs 0
+//   ZeroWhere/SelectF                        mask-driven blends
+//   AllGtZeroF/AllFiniteF                    whole-vector predicates
+//
+// Kernels8<Traits> then implements the element-wise kernel bodies once;
+// the chained reductions (pinned 8-lane folds) and the ziggurat batch
+// kernel are hand-written per ISA in their translation units because
+// their shape is width-specific by definition.
+//
+// All kernels handle arbitrary n: full vectors in the main loop, then a
+// scalar tail that never reads or writes past index n-1 (the equivalence
+// suite runs exact-sized heap buffers under ASan to enforce this).
+
+#ifndef DPBR_COMMON_SIMD_TRAITS_H_
+#define DPBR_COMMON_SIMD_TRAITS_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__SSE2__)
+#include <immintrin.h>
+#endif
+
+namespace dpbr {
+namespace simd {
+namespace detail {
+
+#if defined(__SSE2__)
+
+struct TraitsSse2 {
+  using VF = __m128;
+  using VD = __m128d;
+  using MF = __m128;
+  static constexpr size_t kF = 4;
+  static constexpr size_t kD = 2;
+
+  static VF Set1F(float a) { return _mm_set1_ps(a); }
+  static VF LoadF(const float* p) { return _mm_loadu_ps(p); }
+  static void StoreF(float* p, VF v) { _mm_storeu_ps(p, v); }
+  static VF AddF(VF a, VF b) { return _mm_add_ps(a, b); }
+  static VF SubF(VF a, VF b) { return _mm_sub_ps(a, b); }
+  static VF MulF(VF a, VF b) { return _mm_mul_ps(a, b); }
+
+  static VD Set1D(double a) { return _mm_set1_pd(a); }
+  static VD AddD(VD a, VD b) { return _mm_add_pd(a, b); }
+  static VD SubD(VD a, VD b) { return _mm_sub_pd(a, b); }
+  static VD MulD(VD a, VD b) { return _mm_mul_pd(a, b); }
+
+  static VD CvtLoF2D(VF v) { return _mm_cvtps_pd(v); }
+  static VD CvtHiF2D(VF v) { return _mm_cvtps_pd(_mm_movehl_ps(v, v)); }
+  static VF CvtD2F(VD lo, VD hi) {
+    return _mm_movelh_ps(_mm_cvtpd_ps(lo), _mm_cvtpd_ps(hi));
+  }
+
+  static MF CmpLtZeroF(VF v) { return _mm_cmplt_ps(v, _mm_setzero_ps()); }
+  static MF CmpLeZeroF(VF v) { return _mm_cmple_ps(v, _mm_setzero_ps()); }
+  static MF CmpEqZeroF(VF v) { return _mm_cmpeq_ps(v, _mm_setzero_ps()); }
+  static VF ZeroWhere(MF m, VF v) { return _mm_andnot_ps(m, v); }
+  static VF SelectF(MF m, VF a, VF b) {
+    return _mm_or_ps(_mm_and_ps(m, a), _mm_andnot_ps(m, b));
+  }
+  static bool AllGtZeroF(VF v) {
+    return _mm_movemask_ps(_mm_cmpgt_ps(v, _mm_setzero_ps())) == 0xF;
+  }
+  static bool AllFiniteF(VF v) {
+    VF abs = _mm_and_ps(v, _mm_castsi128_ps(_mm_set1_epi32(0x7FFFFFFF)));
+    VF inf = _mm_castsi128_ps(_mm_set1_epi32(0x7F800000));
+    return _mm_movemask_ps(_mm_cmplt_ps(abs, inf)) == 0xF;
+  }
+};
+
+#endif  // __SSE2__
+
+#if defined(__AVX2__)
+
+struct TraitsAvx2 {
+  using VF = __m256;
+  using VD = __m256d;
+  using MF = __m256;
+  static constexpr size_t kF = 8;
+  static constexpr size_t kD = 4;
+
+  static VF Set1F(float a) { return _mm256_set1_ps(a); }
+  static VF LoadF(const float* p) { return _mm256_loadu_ps(p); }
+  static void StoreF(float* p, VF v) { _mm256_storeu_ps(p, v); }
+  static VF AddF(VF a, VF b) { return _mm256_add_ps(a, b); }
+  static VF SubF(VF a, VF b) { return _mm256_sub_ps(a, b); }
+  static VF MulF(VF a, VF b) { return _mm256_mul_ps(a, b); }
+
+  static VD Set1D(double a) { return _mm256_set1_pd(a); }
+  static VD AddD(VD a, VD b) { return _mm256_add_pd(a, b); }
+  static VD SubD(VD a, VD b) { return _mm256_sub_pd(a, b); }
+  static VD MulD(VD a, VD b) { return _mm256_mul_pd(a, b); }
+
+  static VD CvtLoF2D(VF v) {
+    return _mm256_cvtps_pd(_mm256_castps256_ps128(v));
+  }
+  static VD CvtHiF2D(VF v) {
+    return _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1));
+  }
+  static VF CvtD2F(VD lo, VD hi) {
+    return _mm256_insertf128_ps(_mm256_zextps128_ps256(_mm256_cvtpd_ps(lo)),
+                                _mm256_cvtpd_ps(hi), 1);
+  }
+
+  static MF CmpLtZeroF(VF v) {
+    return _mm256_cmp_ps(v, _mm256_setzero_ps(), _CMP_LT_OQ);
+  }
+  static MF CmpLeZeroF(VF v) {
+    return _mm256_cmp_ps(v, _mm256_setzero_ps(), _CMP_LE_OQ);
+  }
+  static MF CmpEqZeroF(VF v) {
+    return _mm256_cmp_ps(v, _mm256_setzero_ps(), _CMP_EQ_OQ);
+  }
+  static VF ZeroWhere(MF m, VF v) { return _mm256_andnot_ps(m, v); }
+  static VF SelectF(MF m, VF a, VF b) { return _mm256_blendv_ps(b, a, m); }
+  static bool AllGtZeroF(VF v) {
+    return _mm256_movemask_ps(_mm256_cmp_ps(v, _mm256_setzero_ps(),
+                                            _CMP_GT_OQ)) == 0xFF;
+  }
+  static bool AllFiniteF(VF v) {
+    VF abs = _mm256_and_ps(
+        v, _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFFFFFF)));
+    VF inf = _mm256_castsi256_ps(_mm256_set1_epi32(0x7F800000));
+    return _mm256_movemask_ps(_mm256_cmp_ps(abs, inf, _CMP_LT_OQ)) == 0xFF;
+  }
+};
+
+#endif  // __AVX2__
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__)
+
+struct TraitsAvx512 {
+  using VF = __m512;
+  using VD = __m512d;
+  using MF = __mmask16;
+  static constexpr size_t kF = 16;
+  static constexpr size_t kD = 8;
+
+  static VF Set1F(float a) { return _mm512_set1_ps(a); }
+  static VF LoadF(const float* p) { return _mm512_loadu_ps(p); }
+  static void StoreF(float* p, VF v) { _mm512_storeu_ps(p, v); }
+  static VF AddF(VF a, VF b) { return _mm512_add_ps(a, b); }
+  static VF SubF(VF a, VF b) { return _mm512_sub_ps(a, b); }
+  static VF MulF(VF a, VF b) { return _mm512_mul_ps(a, b); }
+
+  static VD Set1D(double a) { return _mm512_set1_pd(a); }
+  static VD AddD(VD a, VD b) { return _mm512_add_pd(a, b); }
+  static VD SubD(VD a, VD b) { return _mm512_sub_pd(a, b); }
+  static VD MulD(VD a, VD b) { return _mm512_mul_pd(a, b); }
+
+  static VD CvtLoF2D(VF v) {
+    return _mm512_cvtps_pd(_mm512_castps512_ps256(v));
+  }
+  static VD CvtHiF2D(VF v) {
+    return _mm512_cvtps_pd(
+        _mm256_castpd_ps(_mm512_extractf64x4_pd(_mm512_castps_pd(v), 1)));
+  }
+  static VF CvtD2F(VD lo, VD hi) {
+    // zext (not cast) of the low half: GCC's undefined-upper cast trips
+    // -Wmaybe-uninitialized, and the zero-extend is free anyway.
+    __m512 out = _mm512_zextps256_ps512(_mm512_cvtpd_ps(lo));
+    return _mm512_castpd_ps(_mm512_insertf64x4(
+        _mm512_castps_pd(out), _mm256_castps_pd(_mm512_cvtpd_ps(hi)), 1));
+  }
+
+  static MF CmpLtZeroF(VF v) {
+    return _mm512_cmp_ps_mask(v, _mm512_setzero_ps(), _CMP_LT_OQ);
+  }
+  static MF CmpLeZeroF(VF v) {
+    return _mm512_cmp_ps_mask(v, _mm512_setzero_ps(), _CMP_LE_OQ);
+  }
+  static MF CmpEqZeroF(VF v) {
+    return _mm512_cmp_ps_mask(v, _mm512_setzero_ps(), _CMP_EQ_OQ);
+  }
+  static VF ZeroWhere(MF m, VF v) {
+    return _mm512_maskz_mov_ps(static_cast<__mmask16>(~m), v);
+  }
+  static VF SelectF(MF m, VF a, VF b) {
+    return _mm512_mask_blend_ps(m, b, a);
+  }
+  static bool AllGtZeroF(VF v) {
+    return _mm512_cmp_ps_mask(v, _mm512_setzero_ps(), _CMP_GT_OQ) == 0xFFFF;
+  }
+  static bool AllFiniteF(VF v) {
+    VF abs = _mm512_abs_ps(v);
+    VF inf = _mm512_castsi512_ps(_mm512_set1_epi32(0x7F800000));
+    return _mm512_cmp_ps_mask(abs, inf, _CMP_LT_OQ) == 0xFFFF;
+  }
+};
+
+#endif  // __AVX512F__ && __AVX512DQ__
+
+// Generic element-wise kernels over a trait. Each body mirrors the
+// scalar reference in simd.cc operation-for-operation (multiply then
+// add, ordered compares, doubles where the scalar uses doubles), so the
+// vector main loop and the scalar tail produce identical bits.
+template <typename T>
+struct Kernels8 {
+  using VF = typename T::VF;
+  using VD = typename T::VD;
+  using MF = typename T::MF;
+
+  static void AxpyF32(float a, const float* x, float* y, size_t n) {
+    VF va = T::Set1F(a);
+    size_t i = 0;
+    for (; i + T::kF <= n; i += T::kF) {
+      T::StoreF(y + i, T::AddF(T::LoadF(y + i), T::MulF(va, T::LoadF(x + i))));
+    }
+    for (; i < n; ++i) y[i] += a * x[i];
+  }
+
+  static void AddF32(const float* x, float* y, size_t n) {
+    size_t i = 0;
+    for (; i + T::kF <= n; i += T::kF) {
+      T::StoreF(y + i, T::AddF(T::LoadF(y + i), T::LoadF(x + i)));
+    }
+    for (; i < n; ++i) y[i] += x[i];
+  }
+
+  static void ScaleF32(float a, float* y, size_t n) {
+    VF va = T::Set1F(a);
+    size_t i = 0;
+    for (; i + T::kF <= n; i += T::kF) {
+      T::StoreF(y + i, T::MulF(va, T::LoadF(y + i)));
+    }
+    for (; i < n; ++i) y[i] *= a;
+  }
+
+  static void AddScalarF32(float a, float* y, size_t n) {
+    VF va = T::Set1F(a);
+    size_t i = 0;
+    for (; i + T::kF <= n; i += T::kF) {
+      T::StoreF(y + i, T::AddF(T::LoadF(y + i), va));
+    }
+    for (; i < n; ++i) y[i] += a;
+  }
+
+  static void ReluF32(float* y, size_t n) {
+    size_t i = 0;
+    for (; i + T::kF <= n; i += T::kF) {
+      VF v = T::LoadF(y + i);
+      T::StoreF(y + i, T::ZeroWhere(T::CmpLtZeroF(v), v));
+    }
+    for (; i < n; ++i) {
+      if (y[i] < 0.0f) y[i] = 0.0f;
+    }
+  }
+
+  static void ReluGradF32(float* g, const float* y, size_t n) {
+    size_t i = 0;
+    for (; i + T::kF <= n; i += T::kF) {
+      VF vg = T::LoadF(g + i);
+      T::StoreF(g + i, T::ZeroWhere(T::CmpEqZeroF(T::LoadF(y + i)), vg));
+    }
+    for (; i < n; ++i) {
+      if (y[i] == 0.0f) g[i] = 0.0f;
+    }
+  }
+
+  static void EluF32(float* y, size_t n, float alpha) {
+    // exp() stays scalar libm — the bitwise reference admits no vector
+    // polynomial — so the vector pass only skips all-positive blocks
+    // (which ELU maps to themselves).
+    size_t i = 0;
+    for (; i + T::kF <= n; i += T::kF) {
+      if (T::AllGtZeroF(T::LoadF(y + i))) continue;
+      for (size_t l = 0; l < T::kF; ++l) {
+        float v = y[i + l];
+        if (!(v > 0.0f)) y[i + l] = alpha * (std::exp(v) - 1.0f);
+      }
+    }
+    for (; i < n; ++i) {
+      float v = y[i];
+      if (!(v > 0.0f)) y[i] = alpha * (std::exp(v) - 1.0f);
+    }
+  }
+
+  static void EluGradF32(float* g, const float* y, size_t n, float alpha) {
+    VF va = T::Set1F(alpha);
+    size_t i = 0;
+    for (; i + T::kF <= n; i += T::kF) {
+      VF vy = T::LoadF(y + i);
+      VF vg = T::LoadF(g + i);
+      VF neg = T::MulF(vg, T::AddF(vy, va));
+      T::StoreF(g + i, T::SelectF(T::CmpLeZeroF(vy), neg, vg));
+    }
+    for (; i < n; ++i) {
+      if (y[i] <= 0.0f) g[i] = g[i] * (y[i] + alpha);
+    }
+  }
+
+  static void GNormNormF32(const float* x, size_t n, double mean,
+                           double inv_std, float gamma, float beta,
+                           float* xhat, float* y) {
+    VD vm = T::Set1D(mean);
+    VD vs = T::Set1D(inv_std);
+    VF vg = T::Set1F(gamma);
+    VF vb = T::Set1F(beta);
+    size_t i = 0;
+    for (; i + T::kF <= n; i += T::kF) {
+      VF vx = T::LoadF(x + i);
+      VD lo = T::MulD(T::SubD(T::CvtLoF2D(vx), vm), vs);
+      VD hi = T::MulD(T::SubD(T::CvtHiF2D(vx), vm), vs);
+      VF xh = T::CvtD2F(lo, hi);
+      T::StoreF(xhat + i, xh);
+      T::StoreF(y + i, T::AddF(T::MulF(vg, xh), vb));
+    }
+    for (; i < n; ++i) {
+      float xh = static_cast<float>((x[i] - mean) * inv_std);
+      xhat[i] = xh;
+      y[i] = gamma * xh + beta;
+    }
+  }
+
+  static void GNormDxF32(const float* dy, const float* xhat, size_t n,
+                         double gamma, double mean_dxhat,
+                         double mean_dxhat_xhat, double inv_std, float* dx) {
+    VD vg = T::Set1D(gamma);
+    VD vmd = T::Set1D(mean_dxhat);
+    VD vmdx = T::Set1D(mean_dxhat_xhat);
+    VD vis = T::Set1D(inv_std);
+    size_t i = 0;
+    for (; i + T::kF <= n; i += T::kF) {
+      VF vdy = T::LoadF(dy + i);
+      VF vxh = T::LoadF(xhat + i);
+      VD dxh_lo = T::MulD(T::CvtLoF2D(vdy), vg);
+      VD dxh_hi = T::MulD(T::CvtHiF2D(vdy), vg);
+      VD lo = T::MulD(vis, T::SubD(T::SubD(dxh_lo, vmd),
+                                   T::MulD(T::CvtLoF2D(vxh), vmdx)));
+      VD hi = T::MulD(vis, T::SubD(T::SubD(dxh_hi, vmd),
+                                   T::MulD(T::CvtHiF2D(vxh), vmdx)));
+      T::StoreF(dx + i, T::CvtD2F(lo, hi));
+    }
+    for (; i < n; ++i) {
+      double dxh = static_cast<double>(dy[i]) * gamma;
+      dx[i] = static_cast<float>(
+          inv_std * (dxh - mean_dxhat -
+                     static_cast<double>(xhat[i]) * mean_dxhat_xhat));
+    }
+  }
+
+  static bool AllFiniteF32(const float* x, size_t n) {
+    size_t i = 0;
+    for (; i + T::kF <= n; i += T::kF) {
+      if (!T::AllFiniteF(T::LoadF(x + i))) return false;
+    }
+    for (; i < n; ++i) {
+      if (!std::isfinite(x[i])) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace detail
+}  // namespace simd
+}  // namespace dpbr
+
+#endif  // DPBR_COMMON_SIMD_TRAITS_H_

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "nn/loss.h"
 #include "tensor/ops.h"
@@ -67,13 +68,11 @@ Status Server::Step(RowSpan uploads, double lr,
   // aggregate nor the round. No copy is ever taken — the all-finite fast
   // path leaves the arena untouched. Dimension validation stays with the
   // aggregator's ValidateUploads.
+  const simd::SimdKernels& kern = simd::Kernels();
   ParallelFor(0, uploads.rows, [&](size_t i) {
     float* row = uploads.Row(i);
-    for (size_t k = 0; k < uploads.dim; ++k) {
-      if (!std::isfinite(row[k])) {
-        std::fill(row, row + uploads.dim, 0.0f);
-        break;
-      }
+    if (!kern.all_finite_f32(row, uploads.dim)) {
+      std::fill(row, row + uploads.dim, 0.0f);
     }
   });
   std::vector<float> server_grad;

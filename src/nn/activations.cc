@@ -1,8 +1,10 @@
 #include "nn/activations.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "common/logging.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 
 namespace dpbr {
@@ -16,30 +18,14 @@ constexpr size_t kOutSlot = 0;  // cached output(s)
 // making the parallel result trivially bitwise equal to the serial loop.
 constexpr size_t kEltBlock = 4096;
 
-inline float EluValue(float v, float a) {
-  return v > 0.0f ? v : a * (std::exp(v) - 1.0f);
-}
-
-// ELU preserves sign, so y <= 0 ⟺ x <= 0, where d/dx α(eˣ-1) = y + α.
-inline float EluGrad(float g, float y, float a) {
-  return y <= 0.0f ? g * (y + a) : g;
-}
-
-inline float ReluValue(float v) { return v < 0.0f ? 0.0f : v; }
-
-// y == 0 ⟺ x <= 0 (the subgradient-0 convention the old path used).
-inline float ReluGrad(float g, float y) { return y == 0.0f ? 0.0f : g; }
-
 }  // namespace
 
 Tensor Elu::Forward(const Tensor& x) {
   Tensor y = x;
   float a = static_cast<float>(alpha_);
   float* cached = ws_.Get(kOutSlot, y.size());
-  for (size_t i = 0; i < y.size(); ++i) {
-    y[i] = EluValue(y[i], a);
-    cached[i] = y[i];
-  }
+  simd::Kernels().elu_f32(y.data(), y.size(), a);
+  std::memcpy(cached, y.data(), y.size() * sizeof(float));
   state_.SetPerExample(x.shape());
   return y;
 }
@@ -50,7 +36,7 @@ Tensor Elu::Backward(const Tensor& grad_out) {
   Tensor dx = grad_out;
   float a = static_cast<float>(alpha_);
   const float* y = ws_.Get(kOutSlot, dx.size());
-  for (size_t i = 0; i < dx.size(); ++i) dx[i] = EluGrad(dx[i], y[i], a);
+  simd::Kernels().elu_grad_f32(dx.data(), y, dx.size(), a);
   return dx;
 }
 
@@ -61,11 +47,10 @@ Tensor Elu::ForwardBatch(const Tensor& x) {
   float* cached = ws_.Get(kOutSlot, y.size());
   float* yd = y.data();
   state_.SetBatched(x.shape());
+  const simd::SimdKernels& kern = simd::Kernels();
   ParallelForBlocked(y.size(), kEltBlock, [&](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) {
-      yd[i] = EluValue(yd[i], a);
-      cached[i] = yd[i];
-    }
+    kern.elu_f32(yd + lo, hi - lo, a);
+    std::memcpy(cached + lo, yd + lo, (hi - lo) * sizeof(float));
   });
   return y;
 }
@@ -78,8 +63,9 @@ Tensor Elu::BackwardBatch(const Tensor& grad_out,
   float a = static_cast<float>(alpha_);
   const float* y = ws_.Get(kOutSlot, dx.size());
   float* dxd = dx.data();
+  const simd::SimdKernels& kern = simd::Kernels();
   ParallelForBlocked(dx.size(), kEltBlock, [&](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) dxd[i] = EluGrad(dxd[i], y[i], a);
+    kern.elu_grad_f32(dxd + lo, y + lo, hi - lo, a);
   });
   return dx;
 }
@@ -87,10 +73,8 @@ Tensor Elu::BackwardBatch(const Tensor& grad_out,
 Tensor Relu::Forward(const Tensor& x) {
   Tensor y = x;
   float* cached = ws_.Get(kOutSlot, y.size());
-  for (size_t i = 0; i < y.size(); ++i) {
-    y[i] = ReluValue(y[i]);
-    cached[i] = y[i];
-  }
+  simd::Kernels().relu_f32(y.data(), y.size());
+  std::memcpy(cached, y.data(), y.size() * sizeof(float));
   state_.SetPerExample(x.shape());
   return y;
 }
@@ -100,7 +84,7 @@ Tensor Relu::Backward(const Tensor& grad_out) {
   DPBR_CHECK(grad_out.shape() == in);
   Tensor dx = grad_out;
   const float* y = ws_.Get(kOutSlot, dx.size());
-  for (size_t i = 0; i < dx.size(); ++i) dx[i] = ReluGrad(dx[i], y[i]);
+  simd::Kernels().relu_grad_f32(dx.data(), y, dx.size());
   return dx;
 }
 
@@ -110,11 +94,10 @@ Tensor Relu::ForwardBatch(const Tensor& x) {
   float* cached = ws_.Get(kOutSlot, y.size());
   float* yd = y.data();
   state_.SetBatched(x.shape());
+  const simd::SimdKernels& kern = simd::Kernels();
   ParallelForBlocked(y.size(), kEltBlock, [&](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) {
-      yd[i] = ReluValue(yd[i]);
-      cached[i] = yd[i];
-    }
+    kern.relu_f32(yd + lo, hi - lo);
+    std::memcpy(cached + lo, yd + lo, (hi - lo) * sizeof(float));
   });
   return y;
 }
@@ -126,8 +109,9 @@ Tensor Relu::BackwardBatch(const Tensor& grad_out,
   Tensor dx = grad_out;
   const float* y = ws_.Get(kOutSlot, dx.size());
   float* dxd = dx.data();
+  const simd::SimdKernels& kern = simd::Kernels();
   ParallelForBlocked(dx.size(), kEltBlock, [&](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) dxd[i] = ReluGrad(dxd[i], y[i]);
+    kern.relu_grad_f32(dxd + lo, y + lo, hi - lo);
   });
   return dx;
 }

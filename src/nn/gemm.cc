@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 
 namespace dpbr {
@@ -46,15 +47,15 @@ void GemmNNTile(size_t i0, size_t i1, size_t j0, size_t j1, size_t k,
       std::memset(crow, 0, jn * sizeof(float));
     }
   }
+  const simd::SimdKernels& kern = simd::Kernels();
   for (size_t p0 = 0; p0 < k; p0 += kPanelK) {
     size_t p1 = std::min(k, p0 + kPanelK);
     for (size_t i = i0; i < i1; ++i) {
       const float* arow = a + i * k;
       float* crow = c + i * n + j0;
       for (size_t p = p0; p < p1; ++p) {
-        float aip = arow[p];
         const float* brow = b + p * n + j0;
-        for (size_t j = 0; j < jn; ++j) crow[j] += aip * brow[j];
+        kern.axpy_f32(arow[p], brow, crow, jn);
       }
     }
   }
@@ -66,46 +67,33 @@ void GemmTNRows(size_t i0, size_t i1, size_t m, size_t k, size_t n,
   for (size_t i = i0; i < i1; ++i) {
     std::memset(c + i * n, 0, n * sizeof(float));
   }
+  const simd::SimdKernels& kern = simd::Kernels();
   for (size_t p0 = 0; p0 < k; p0 += kPanelK) {
     size_t p1 = std::min(k, p0 + kPanelK);
     for (size_t i = i0; i < i1; ++i) {
       float* crow = c + i * n;
       for (size_t p = p0; p < p1; ++p) {
-        float aip = a[p * m + i];
-        const float* brow = b + p * n;
-        for (size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+        kern.axpy_f32(a[p * m + i], b + p * n, crow, n);
       }
     }
   }
 }
 
-// Dot product of two unit-stride spans in eight fixed interleaved
-// chains: lane l sums p ≡ l (mod 8), lanes combined in order. The lane
-// assignment depends only on k, so the value is reproducible.
-float DotChained(const float* x, const float* y, size_t k) {
-  float acc[8] = {0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f};
-  size_t p = 0;
-  for (; p + 8 <= k; p += 8) {
-    for (size_t l = 0; l < 8; ++l) acc[l] += x[p + l] * y[p + l];
-  }
-  for (size_t l = 0; p + l < k; ++l) acc[l] += x[p + l] * y[p + l];
-  float s01 = acc[0] + acc[1];
-  float s23 = acc[2] + acc[3];
-  float s45 = acc[4] + acc[5];
-  float s67 = acc[6] + acc[7];
-  return (s01 + s23) + (s45 + s67);
-}
-
 // Serial NT kernel on a block of C rows [i0, i1): C = A·Bᵀ, B is (n×k).
+// The per-element dot is simd dot8_f32 — eight fixed interleaved chains
+// (lane l sums p ≡ l (mod 8), lanes combined in a fixed tree), whose
+// lane assignment depends only on k, so the value is reproducible and
+// identical on every dispatch tier (the historical DotChained fold).
 void GemmNTRows(size_t i0, size_t i1, size_t k, size_t n, const float* a,
                 const float* b, float* c, bool accumulate) {
+  const simd::SimdKernels& kern = simd::Kernels();
   for (size_t j0 = 0; j0 < n; j0 += kTileN) {
     size_t j1 = std::min(n, j0 + kTileN);
     for (size_t i = i0; i < i1; ++i) {
       const float* arow = a + i * k;
       float* crow = c + i * n;
       for (size_t j = j0; j < j1; ++j) {
-        float d = DotChained(arow, b + j * k, k);
+        float d = kern.dot8_f32(arow, b + j * k, k);
         crow[j] = accumulate ? crow[j] + d : d;
       }
     }
@@ -204,7 +192,7 @@ void GemmBatchedNT(
     if (panel.size() < n * k) panel.resize(n * k);
     for (size_t ex = e0; ex < e1; ++ex) {
       fill_b(ex, panel.data());
-      // All m rows serially: identical per-element DotChained values to
+      // All m rows serially: identical per-element dot8_f32 values to
       // the per-example GemmNT dispatch, which only splits these rows.
       GemmNTRows(0, m, k, n, a + ex * a_stride, panel.data(), c_of(ex),
                  accumulate);
@@ -298,7 +286,7 @@ void Col2ImAccumulate(const float* col, size_t channels, size_t h, size_t w,
             const float* src = row + i * ow + j_lo;
             float* dst = plane + static_cast<size_t>(ih) * w +
                          (j_lo + kw - pad);
-            for (size_t j = 0; j < j_hi - j_lo; ++j) dst[j] += src[j];
+            simd::Kernels().add_f32(src, dst, j_hi - j_lo);
           }
         }
       }

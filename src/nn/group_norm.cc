@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 
 namespace dpbr {
@@ -45,15 +46,15 @@ void GroupNorm::ForwardOne(const float* x, size_t spatial, float* xhat,
     var /= static_cast<double>(group_size);
     double inv_std = 1.0 / std::sqrt(var + eps_);
     inv_std_out[g] = inv_std;
+    // Normalize sweep: element-wise in double then narrowed, so the SIMD
+    // path is bitwise equal to the scalar reference. The statistics above
+    // stay sequential scalar (they feed the training trajectory).
+    const simd::SimdKernels& kern = simd::Kernels();
     for (size_t c = 0; c < cpg; ++c) {
       size_t ch = g * cpg + c;
-      float gam = gamma_[ch], bet = beta_[ch];
-      for (size_t s = 0; s < spatial; ++s) {
-        size_t idx = g * group_size + c * spatial + s;
-        float xh = static_cast<float>((x[idx] - mean) * inv_std);
-        xhat[idx] = xh;
-        y[idx] = gam * xh + bet;
-      }
+      size_t idx = g * group_size + c * spatial;
+      kern.gnorm_norm_f32(x + idx, spatial, mean, inv_std, gamma_[ch],
+                          beta_[ch], xhat + idx, y + idx);
     }
   }
 }
@@ -97,14 +98,12 @@ void GroupNorm::BackwardOne(const float* dy, const float* xhat,
     double mean_dxhat = sum_dxhat * inv_m;
     double mean_dxhat_xhat = sum_dxhat_xhat * inv_m;
     double is = inv_std[g];
+    const simd::SimdKernels& kern = simd::Kernels();
     for (size_t c = 0; c < cpg; ++c) {
       size_t ch = g * cpg + c;
-      for (size_t s = 0; s < spatial; ++s) {
-        size_t idx = ch * spatial + s;
-        double dxhat = static_cast<double>(dy[idx]) * gamma_[ch];
-        dx[idx] = static_cast<float>(
-            is * (dxhat - mean_dxhat - xhat[idx] * mean_dxhat_xhat));
-      }
+      size_t idx = ch * spatial;
+      kern.gnorm_dx_f32(dy + idx, xhat + idx, spatial, gamma_[ch],
+                        mean_dxhat, mean_dxhat_xhat, is, dx + idx);
     }
   }
 }

@@ -3,16 +3,17 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/simd.h"
 
 namespace dpbr {
 namespace ops {
 
 void Axpy(float alpha, const float* x, float* y, size_t n) {
-  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+  simd::Kernels().axpy_f32(alpha, x, y, n);
 }
 
 void Scale(float alpha, float* x, size_t n) {
-  for (size_t i = 0; i < n; ++i) x[i] *= alpha;
+  simd::Kernels().scale_f32(alpha, x, n);
 }
 
 double Dot(const float* x, const float* y, size_t n) {
@@ -45,32 +46,29 @@ void MatVec(const float* a, const float* x, float* out, size_t rows,
 
 void MatVecTransposed(const float* a, const float* x, float* out, size_t rows,
                       size_t cols) {
+  const simd::SimdKernels& kern = simd::Kernels();
   for (size_t c = 0; c < cols; ++c) out[c] = 0.0f;
   for (size_t r = 0; r < rows; ++r) {
-    const float* row = a + r * cols;
-    float xr = x[r];
-    for (size_t c = 0; c < cols; ++c) out[c] += xr * row[c];
+    kern.axpy_f32(x[r], a + r * cols, out, cols);
   }
 }
 
 void Ger(float alpha, const float* u, const float* v, float* a, size_t rows,
          size_t cols) {
+  const simd::SimdKernels& kern = simd::Kernels();
   for (size_t r = 0; r < rows; ++r) {
-    float au = alpha * u[r];
-    float* row = a + r * cols;
-    for (size_t c = 0; c < cols; ++c) row[c] += au * v[c];
+    kern.axpy_f32(alpha * u[r], v, a + r * cols, cols);
   }
 }
 
 void MatMul(const float* a, const float* b, float* c, size_t m, size_t k,
             size_t n) {
+  const simd::SimdKernels& kern = simd::Kernels();
   for (size_t i = 0; i < m * n; ++i) c[i] = 0.0f;
   for (size_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
     for (size_t p = 0; p < k; ++p) {
-      float aip = a[i * k + p];
-      const float* brow = b + p * n;
-      float* crow = c + i * n;
-      for (size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+      kern.axpy_f32(a[i * k + p], b + p * n, crow, n);
     }
   }
 }

@@ -16,6 +16,7 @@
 #include "aggregators/rfa.h"
 #include "aggregators/trimmed_mean.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "core/dpbr_aggregator.h"
 #include "core/first_stage.h"
@@ -172,6 +173,66 @@ TEST(FirstStageDeterminismTest, ApplyVerdictsAndZeroing) {
     flat.reserve(kN * kDim);
     for (const auto& u : copy) flat.insert(flat.end(), u.begin(), u.end());
     return flat;
+  });
+}
+
+// --- SIMD dispatch invariance: the aggregator hot loops route through
+// the runtime-dispatched kernel table (Krum's distsq8 tiles, the
+// median/trimmed-mean transpose gathers, the trimmed sum8 folds). The
+// kernels' pinned-fold contract makes every tier bitwise equal to the
+// scalar reference — enforced here on the full aggregation outputs.
+
+template <typename Fn>
+void ExpectIsaInvariant(const Fn& make_result) {
+  std::vector<float> want;
+  {
+    simd::ScopedForceIsa force(simd::IsaLevel::kScalar);
+    want = make_result();
+  }
+  for (simd::IsaLevel level :
+       {simd::IsaLevel::kSse2, simd::IsaLevel::kAvx2,
+        simd::IsaLevel::kAvx512}) {
+    if (simd::KernelsFor(level) == nullptr) continue;
+    simd::ScopedForceIsa force(level);
+    std::vector<float> got = make_result();
+    ASSERT_EQ(want.size(), got.size());
+    for (size_t k = 0; k < want.size(); ++k) {
+      ASSERT_EQ(want[k], got[k])
+          << "coordinate " << k << " differs between scalar and "
+          << simd::IsaName(level);
+    }
+  }
+}
+
+TEST(AggregatorSimdEquivalenceTest, KrumBitwiseAcrossIsas) {
+  auto uploads = FixedSeedUploads(kN, kDim, 0.3);
+  ExpectIsaInvariant([&] {
+    agg::KrumAggregator krum(5);
+    return krum.Aggregate(uploads, Ctx(kDim)).value();
+  });
+}
+
+TEST(AggregatorSimdEquivalenceTest, CoordinateMedianBitwiseAcrossIsas) {
+  auto uploads = FixedSeedUploads(kN, kDim, 0.3);
+  ExpectIsaInvariant([&] {
+    agg::CoordinateMedianAggregator median;
+    return median.Aggregate(uploads, Ctx(kDim)).value();
+  });
+}
+
+TEST(AggregatorSimdEquivalenceTest, TrimmedMeanBitwiseAcrossIsas) {
+  auto uploads = FixedSeedUploads(kN, kDim, 0.3);
+  ExpectIsaInvariant([&] {
+    agg::TrimmedMeanAggregator trimmed(0.2);
+    return trimmed.Aggregate(uploads, Ctx(kDim)).value();
+  });
+}
+
+TEST(AggregatorSimdEquivalenceTest, RfaBitwiseAcrossIsas) {
+  auto uploads = FixedSeedUploads(kN, kDim, 0.3);
+  ExpectIsaInvariant([&] {
+    agg::RfaAggregator rfa;
+    return rfa.Aggregate(uploads, Ctx(kDim)).value();
   });
 }
 

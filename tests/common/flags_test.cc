@@ -82,5 +82,66 @@ TEST(FlagsTest, DoubleList) {
   ASSERT_EQ(d.size(), 1u);
 }
 
+// Regression: strtod reports overflow/underflow only through
+// errno == ERANGE. The old accessors never checked it, so --eps=1e999
+// sailed through as HUGE_VAL (an "infinite" privacy budget).
+TEST(FlagsTest, DoubleOverflowRejected) {
+  Flags f = ParseArgs({"--eps=1e999"});
+  EXPECT_DOUBLE_EQ(f.GetDouble("eps", 0.5), 0.5);
+  auto r = f.GetDoubleOrStatus("eps", 0.5);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("out of double range"),
+            std::string::npos);
+}
+
+TEST(FlagsTest, DoubleUnderflowRejected) {
+  Flags f = ParseArgs({"--eps=1e-999"});
+  EXPECT_DOUBLE_EQ(f.GetDouble("eps", 0.5), 0.5);
+  EXPECT_FALSE(f.GetDoubleOrStatus("eps", 0.5).ok());
+}
+
+TEST(FlagsTest, DoubleTrailingGarbageRejected) {
+  Flags f = ParseArgs({"--eps=1.5abc"});
+  EXPECT_DOUBLE_EQ(f.GetDouble("eps", 0.5), 0.5);
+  auto r = f.GetDoubleOrStatus("eps", 0.5);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, DoubleEmptyValueRejected) {
+  Flags f = ParseArgs({"--eps="});
+  EXPECT_DOUBLE_EQ(f.GetDouble("eps", 0.5), 0.5);
+  EXPECT_FALSE(f.GetDoubleOrStatus("eps", 0.5).ok());
+}
+
+TEST(FlagsTest, StrictDoubleAcceptsValid) {
+  Flags f = ParseArgs({"--eps=0.25"});
+  auto r = f.GetDoubleOrStatus("eps", 0.5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value(), 0.25);
+  // Absent flag returns the default, not an error.
+  auto d = f.GetDoubleOrStatus("missing", 1.5);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d.value(), 1.5);
+}
+
+TEST(FlagsTest, DoubleListOutOfRangeFallsBack) {
+  Flags f = ParseArgs({"--eps=1e999,2"});
+  std::vector<double> v = f.GetDoubleList("eps", {0.125});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_DOUBLE_EQ(v[0], 0.125);
+}
+
+TEST(FlagsTest, IntOverflowRejected) {
+  Flags f = ParseArgs({"--n=99999999999999999999"});
+  EXPECT_EQ(f.GetInt("n", 3), 3);
+  auto r = f.GetIntOrStatus("n", 3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("out of int64 range"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace dpbr

@@ -1,0 +1,493 @@
+// The SIMD dispatch layer's determinism contract, enforced per ISA:
+//  * every kernel table the host can run (scalar, SSE2, AVX2, AVX-512)
+//    produces BITWISE-identical output to the scalar reference table, on
+//    every size in an odd-size sweep chosen to hit full vectors, ragged
+//    tails, and sub-vector-width inputs,
+//  * the activation and all-finite kernels keep that bitwise guarantee
+//    on adversarial payloads (NaN, ±0, denormals, ±Inf),
+//  * the pinned 8-lane reductions agree with a naive sequential sum only
+//    to tolerance (documented reassociation), while remaining bitwise
+//    stable across ISAs,
+//  * the vectorized ziggurat fast path reproduces the scalar rejection
+//    sampler's stream exactly through the public FillGaussian API, and
+//  * ScopedForceIsa retargets and restores the active table.
+//
+// Buffers are heap-allocated at exactly the tested size so that any
+// kernel reading or writing past `n` fails loudly under ASan.
+
+#include "common/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dpbr {
+namespace {
+
+using simd::IsaLevel;
+using simd::SimdKernels;
+
+// Every tier, in order; tests probe KernelsFor and skip what the build
+// or CPU cannot run. Scalar is included on purpose: running the
+// reference against itself keeps the harness honest.
+const IsaLevel kAllIsas[] = {IsaLevel::kScalar, IsaLevel::kSse2,
+                             IsaLevel::kAvx2, IsaLevel::kAvx512};
+
+// Full vectors (8/16/64), ragged tails (9/17/65/67), and sizes smaller
+// than any vector width (0..7) — the block-constant audit: a kernel
+// handed fewer elements than one vector must fall to its scalar tail.
+const size_t kSizes[] = {0,  1,  2,  3,  5,  7,  8,  9,
+                         15, 16, 17, 31, 33, 63, 64, 65, 67, 130};
+
+uint32_t Bits(float v) {
+  uint32_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+uint64_t Bits(double v) {
+  uint64_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+void ExpectBitEqual(const std::vector<float>& want,
+                    const std::vector<float>& got) {
+  ASSERT_EQ(want.size(), got.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(Bits(want[i]), Bits(got[i]))
+        << "element " << i << ": want " << want[i] << " got " << got[i];
+  }
+}
+
+std::vector<float> RandomVec(size_t n, uint64_t seed, double stddev = 1.0) {
+  std::vector<float> v(n);
+  SplitRng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<float>(stddev * rng.Gaussian());
+  }
+  return v;
+}
+
+// Gaussian noise with every hostile float interleaved: NaN, ±Inf, ±0,
+// ±denormal, and the extremes of the finite range.
+std::vector<float> AdversarialVec(size_t n, uint64_t seed) {
+  static const float kSpecials[] = {
+      std::numeric_limits<float>::quiet_NaN(),
+      std::numeric_limits<float>::infinity(),
+      -std::numeric_limits<float>::infinity(),
+      0.0f,
+      -0.0f,
+      std::numeric_limits<float>::denorm_min(),
+      -std::numeric_limits<float>::denorm_min(),
+      std::numeric_limits<float>::max(),
+      std::numeric_limits<float>::lowest(),
+      1e-38f,
+  };
+  std::vector<float> v = RandomVec(n, seed);
+  for (size_t i = 0; i < n; i += 2) {
+    v[i] = kSpecials[(i / 2 + seed) % (sizeof(kSpecials) / sizeof(float))];
+  }
+  return v;
+}
+
+// Finite-only variant (±0 and denormals stay in) for the kernels whose
+// callers sanitize first (reductions, GroupNorm sweeps).
+std::vector<float> FiniteEdgeVec(size_t n, uint64_t seed) {
+  std::vector<float> v = AdversarialVec(n, seed);
+  for (float& x : v) {
+    if (!std::isfinite(x)) x = 0.25f;
+  }
+  return v;
+}
+
+// Runs `check(scalar_table, isa_table)` once per available ISA.
+template <typename Fn>
+void ForEachIsa(const Fn& check) {
+  const SimdKernels* ref = simd::KernelsFor(IsaLevel::kScalar);
+  ASSERT_NE(ref, nullptr);
+  for (IsaLevel level : kAllIsas) {
+    const SimdKernels* k = simd::KernelsFor(level);
+    if (k == nullptr) continue;  // build or CPU cannot run this tier
+    SCOPED_TRACE(simd::IsaName(level));
+    check(*ref, *k);
+  }
+}
+
+TEST(SimdDispatchTest, TablesAreConsistent) {
+  // The scalar table always exists and never claims a vector tier.
+  const SimdKernels* scalar = simd::KernelsFor(IsaLevel::kScalar);
+  ASSERT_NE(scalar, nullptr);
+  EXPECT_EQ(scalar->isa, IsaLevel::kScalar);
+  // Every available table self-reports its tier and fills every slot
+  // except the optional ziggurat kernel.
+  for (IsaLevel level : kAllIsas) {
+    const SimdKernels* k = simd::KernelsFor(level);
+    if (k == nullptr) {
+      EXPECT_NE(level, IsaLevel::kScalar);
+      continue;
+    }
+    EXPECT_EQ(k->isa, level) << simd::IsaName(level);
+    EXPECT_NE(k->axpy_f32, nullptr);
+    EXPECT_NE(k->dot8_f32, nullptr);
+    EXPECT_NE(k->all_finite_f32, nullptr);
+    EXPECT_NE(k->transpose_f32, nullptr);
+  }
+  // The active table is one of the available tiers, and agrees with
+  // ActiveIsa().
+  EXPECT_EQ(simd::Kernels().isa, simd::ActiveIsa());
+  EXPECT_NE(simd::KernelsFor(simd::DetectedIsa()), nullptr);
+}
+
+TEST(SimdDispatchTest, ScopedForceIsaRetargetsAndRestores) {
+  IsaLevel before = simd::ActiveIsa();
+  {
+    simd::ScopedForceIsa force(IsaLevel::kScalar);
+    EXPECT_EQ(simd::ActiveIsa(), IsaLevel::kScalar);
+    EXPECT_EQ(simd::Kernels().isa, IsaLevel::kScalar);
+  }
+  EXPECT_EQ(simd::ActiveIsa(), before);
+  // Nested overrides unwind in order.
+  if (simd::KernelsFor(IsaLevel::kSse2) != nullptr) {
+    simd::ScopedForceIsa outer(IsaLevel::kSse2);
+    EXPECT_EQ(simd::ActiveIsa(), IsaLevel::kSse2);
+    {
+      simd::ScopedForceIsa inner(IsaLevel::kScalar);
+      EXPECT_EQ(simd::ActiveIsa(), IsaLevel::kScalar);
+    }
+    EXPECT_EQ(simd::ActiveIsa(), IsaLevel::kSse2);
+  }
+  EXPECT_EQ(simd::ActiveIsa(), before);
+}
+
+TEST(SimdDispatchTest, ForceScalarEnvParsing) {
+  // Resolve the active table first so this test can't accidentally pin
+  // the whole process to scalar via first-use resolution.
+  (void)simd::Kernels();
+  for (const char* truthy : {"1", "true", "YES", "On"}) {
+    ASSERT_EQ(setenv("DPBR_FORCE_SCALAR", truthy, 1), 0);
+    EXPECT_TRUE(simd::ForceScalarFromEnv()) << truthy;
+  }
+  for (const char* falsy : {"0", "false", "no", "off", ""}) {
+    ASSERT_EQ(setenv("DPBR_FORCE_SCALAR", falsy, 1), 0);
+    EXPECT_FALSE(simd::ForceScalarFromEnv()) << "'" << falsy << "'";
+  }
+  ASSERT_EQ(unsetenv("DPBR_FORCE_SCALAR"), 0);
+  EXPECT_FALSE(simd::ForceScalarFromEnv());
+}
+
+// --- Element-wise kernels: bitwise equality is structural (no
+// reassociation anywhere), so it must hold exactly on every size.
+
+TEST(SimdKernelTest, AxpyBitwise) {
+  ForEachIsa([](const SimdKernels& ref, const SimdKernels& k) {
+    for (size_t n : kSizes) {
+      std::vector<float> x = RandomVec(n, 100 + n);
+      std::vector<float> want = RandomVec(n, 200 + n);
+      std::vector<float> got = want;
+      ref.axpy_f32(0.37f, x.data(), want.data(), n);
+      k.axpy_f32(0.37f, x.data(), got.data(), n);
+      ExpectBitEqual(want, got);
+    }
+  });
+}
+
+TEST(SimdKernelTest, AddBitwise) {
+  ForEachIsa([](const SimdKernels& ref, const SimdKernels& k) {
+    for (size_t n : kSizes) {
+      std::vector<float> x = RandomVec(n, 300 + n);
+      std::vector<float> want = RandomVec(n, 400 + n);
+      std::vector<float> got = want;
+      ref.add_f32(x.data(), want.data(), n);
+      k.add_f32(x.data(), got.data(), n);
+      ExpectBitEqual(want, got);
+    }
+  });
+}
+
+TEST(SimdKernelTest, ScaleAndAddScalarBitwise) {
+  ForEachIsa([](const SimdKernels& ref, const SimdKernels& k) {
+    for (size_t n : kSizes) {
+      std::vector<float> want = RandomVec(n, 500 + n);
+      std::vector<float> got = want;
+      ref.scale_f32(-1.618f, want.data(), n);
+      k.scale_f32(-1.618f, got.data(), n);
+      ExpectBitEqual(want, got);
+      ref.add_scalar_f32(0.125f, want.data(), n);
+      k.add_scalar_f32(0.125f, got.data(), n);
+      ExpectBitEqual(want, got);
+    }
+  });
+}
+
+// --- Reductions: the pinned 8-lane fold is part of the kernel
+// definition, so SIMD-vs-scalar equality is exact (bitwise), on finite
+// edge-case payloads included.
+
+TEST(SimdKernelTest, Dot8Bitwise) {
+  ForEachIsa([](const SimdKernels& ref, const SimdKernels& k) {
+    for (size_t n : kSizes) {
+      std::vector<float> a = FiniteEdgeVec(n, 600 + n);
+      std::vector<float> b = RandomVec(n, 700 + n);
+      float want = ref.dot8_f32(a.data(), b.data(), n);
+      float got = k.dot8_f32(a.data(), b.data(), n);
+      ASSERT_EQ(Bits(want), Bits(got)) << "n=" << n;
+    }
+  });
+}
+
+TEST(SimdKernelTest, DistSq8Bitwise) {
+  ForEachIsa([](const SimdKernels& ref, const SimdKernels& k) {
+    for (size_t n : kSizes) {
+      std::vector<float> a = FiniteEdgeVec(n, 800 + n);
+      std::vector<float> b = FiniteEdgeVec(n, 900 + n);
+      double want = ref.distsq8_f64(a.data(), b.data(), n);
+      double got = k.distsq8_f64(a.data(), b.data(), n);
+      ASSERT_EQ(Bits(want), Bits(got)) << "n=" << n;
+    }
+  });
+}
+
+TEST(SimdKernelTest, Sum8Bitwise) {
+  ForEachIsa([](const SimdKernels& ref, const SimdKernels& k) {
+    for (size_t n : kSizes) {
+      std::vector<float> x = FiniteEdgeVec(n, 1000 + n);
+      double want = ref.sum8_f64(x.data(), n);
+      double got = k.sum8_f64(x.data(), n);
+      ASSERT_EQ(Bits(want), Bits(got)) << "n=" << n;
+    }
+  });
+}
+
+// The fold differs from a naive sequential sum only by reassociation:
+// tolerance-equal, never assumed bitwise-equal.
+TEST(SimdKernelTest, ChainedFoldMatchesSequentialToTolerance) {
+  const SimdKernels& k = simd::Kernels();
+  for (size_t n : {size_t{67}, size_t{1000}, size_t{4097}}) {
+    std::vector<float> a = RandomVec(n, 1100 + n);
+    std::vector<float> b = RandomVec(n, 1200 + n);
+    double seq_dot = 0.0, seq_sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      seq_dot += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+      seq_sum += static_cast<double>(a[i]);
+    }
+    EXPECT_NEAR(k.dot8_f32(a.data(), b.data(), n), seq_dot,
+                1e-3 * (1.0 + std::abs(seq_dot)));
+    EXPECT_NEAR(k.sum8_f64(a.data(), n), seq_sum,
+                1e-9 * (1.0 + std::abs(seq_sum)));
+  }
+}
+
+// --- Activations: bitwise on fully adversarial payloads. ReLU must
+// pass NaN and -0.0 through (compare-and-zero, never max()); the ELU
+// grad's y <= 0 test is unordered-false, so NaN keeps the gradient.
+
+TEST(SimdKernelTest, ReluAdversarialBitwise) {
+  ForEachIsa([](const SimdKernels& ref, const SimdKernels& k) {
+    for (size_t n : kSizes) {
+      std::vector<float> want = AdversarialVec(n, 1300 + n);
+      std::vector<float> got = want;
+      ref.relu_f32(want.data(), n);
+      k.relu_f32(got.data(), n);
+      ExpectBitEqual(want, got);
+    }
+  });
+}
+
+TEST(SimdKernelTest, ReluGradAdversarialBitwise) {
+  ForEachIsa([](const SimdKernels& ref, const SimdKernels& k) {
+    for (size_t n : kSizes) {
+      std::vector<float> y = AdversarialVec(n, 1400 + n);
+      std::vector<float> want = RandomVec(n, 1500 + n);
+      std::vector<float> got = want;
+      ref.relu_grad_f32(want.data(), y.data(), n);
+      k.relu_grad_f32(got.data(), y.data(), n);
+      ExpectBitEqual(want, got);
+    }
+  });
+}
+
+TEST(SimdKernelTest, EluAdversarialBitwise) {
+  ForEachIsa([](const SimdKernels& ref, const SimdKernels& k) {
+    for (size_t n : kSizes) {
+      std::vector<float> want = AdversarialVec(n, 1600 + n);
+      std::vector<float> got = want;
+      ref.elu_f32(want.data(), n, 1.0f);
+      k.elu_f32(got.data(), n, 1.0f);
+      ExpectBitEqual(want, got);
+      // All-positive inputs exercise the vector skip path.
+      std::vector<float> pos_want(n, 0.5f), pos_got(n, 0.5f);
+      ref.elu_f32(pos_want.data(), n, 1.0f);
+      k.elu_f32(pos_got.data(), n, 1.0f);
+      ExpectBitEqual(pos_want, pos_got);
+    }
+  });
+}
+
+TEST(SimdKernelTest, EluGradAdversarialBitwise) {
+  ForEachIsa([](const SimdKernels& ref, const SimdKernels& k) {
+    for (size_t n : kSizes) {
+      std::vector<float> y = AdversarialVec(n, 1700 + n);
+      std::vector<float> want = RandomVec(n, 1800 + n);
+      std::vector<float> got = want;
+      ref.elu_grad_f32(want.data(), y.data(), n, 1.0f);
+      k.elu_grad_f32(got.data(), y.data(), n, 1.0f);
+      ExpectBitEqual(want, got);
+    }
+  });
+}
+
+// --- GroupNorm sweeps (double-widened element loops).
+
+TEST(SimdKernelTest, GroupNormNormalizeBitwise) {
+  ForEachIsa([](const SimdKernels& ref, const SimdKernels& k) {
+    for (size_t n : kSizes) {
+      std::vector<float> x = FiniteEdgeVec(n, 1900 + n);
+      std::vector<float> xhat_want(n), y_want(n), xhat_got(n), y_got(n);
+      ref.gnorm_norm_f32(x.data(), n, 0.173, 1.42, 1.1f, -0.2f,
+                         xhat_want.data(), y_want.data());
+      k.gnorm_norm_f32(x.data(), n, 0.173, 1.42, 1.1f, -0.2f,
+                       xhat_got.data(), y_got.data());
+      ExpectBitEqual(xhat_want, xhat_got);
+      ExpectBitEqual(y_want, y_got);
+    }
+  });
+}
+
+TEST(SimdKernelTest, GroupNormDxBitwise) {
+  ForEachIsa([](const SimdKernels& ref, const SimdKernels& k) {
+    for (size_t n : kSizes) {
+      std::vector<float> dy = FiniteEdgeVec(n, 2000 + n);
+      std::vector<float> xhat = RandomVec(n, 2100 + n);
+      std::vector<float> want(n), got(n);
+      ref.gnorm_dx_f32(dy.data(), xhat.data(), n, 1.3, 0.01, -0.02, 2.7,
+                       want.data());
+      k.gnorm_dx_f32(dy.data(), xhat.data(), n, 1.3, 0.01, -0.02, 2.7,
+                     got.data());
+      ExpectBitEqual(want, got);
+    }
+  });
+}
+
+// --- all_finite: the sanitize-path predicate. Denormals and ±0 are
+// finite; a single NaN or ±Inf anywhere (first element, middle, or deep
+// in the scalar tail) must flip the answer on every tier.
+
+TEST(SimdKernelTest, AllFiniteAdversarial) {
+  ForEachIsa([](const SimdKernels& ref, const SimdKernels& k) {
+    for (size_t n : kSizes) {
+      std::vector<float> clean = FiniteEdgeVec(n, 2200 + n);
+      ASSERT_TRUE(ref.all_finite_f32(clean.data(), n)) << "n=" << n;
+      ASSERT_TRUE(k.all_finite_f32(clean.data(), n)) << "n=" << n;
+      if (n == 0) continue;
+      const float kBad[] = {std::numeric_limits<float>::quiet_NaN(),
+                            std::numeric_limits<float>::infinity(),
+                            -std::numeric_limits<float>::infinity()};
+      for (size_t pos : {size_t{0}, n / 2, n - 1}) {
+        for (float bad : kBad) {
+          std::vector<float> poisoned = clean;
+          poisoned[pos] = bad;
+          ASSERT_FALSE(ref.all_finite_f32(poisoned.data(), n))
+              << "n=" << n << " pos=" << pos;
+          ASSERT_FALSE(k.all_finite_f32(poisoned.data(), n))
+              << "n=" << n << " pos=" << pos;
+        }
+      }
+    }
+  });
+}
+
+// --- Transpose (the aggregator selection-tile gather): pure data
+// movement, checked against index arithmetic. Strides exceed the block
+// sizes so edge blocks and the strided tail both run.
+
+TEST(SimdKernelTest, TransposeMatchesIndexArithmetic) {
+  struct Shape {
+    size_t rows, cols, src_stride, dst_stride;
+  };
+  const Shape kShapes[] = {
+      {1, 1, 1, 1},   {3, 5, 7, 4},    {4, 4, 4, 4},    {8, 8, 8, 8},
+      {9, 7, 11, 10}, {16, 5, 23, 17}, {5, 16, 19, 6},  {17, 17, 18, 19},
+      {24, 33, 40, 25},
+  };
+  ForEachIsa([&](const SimdKernels& ref, const SimdKernels& k) {
+    (void)ref;
+    for (const Shape& s : kShapes) {
+      std::vector<float> src(s.rows * s.src_stride);
+      for (size_t i = 0; i < src.size(); ++i) {
+        src[i] = static_cast<float>(i) * 0.5f;
+      }
+      std::vector<float> dst(s.cols * s.dst_stride, -1.0f);
+      k.transpose_f32(src.data(), s.src_stride, s.rows, s.cols, dst.data(),
+                      s.dst_stride);
+      for (size_t r = 0; r < s.rows; ++r) {
+        for (size_t c = 0; c < s.cols; ++c) {
+          ASSERT_EQ(dst[c * s.dst_stride + r], src[r * s.src_stride + c])
+              << s.rows << "x" << s.cols << " (" << r << "," << c << ")";
+        }
+      }
+      // Slots outside the written region stay untouched.
+      for (size_t c = 0; c < s.cols; ++c) {
+        for (size_t r = s.rows; r < s.dst_stride; ++r) {
+          ASSERT_EQ(dst[c * s.dst_stride + r], -1.0f);
+        }
+      }
+    }
+  });
+}
+
+// --- Ziggurat fast path: FillGaussian/AddGaussian must emit the exact
+// scalar rejection-sampler stream no matter which tier is active, at
+// sizes covering sub-batch fills, ragged batch tails, and multi-block
+// parallel fills.
+
+TEST(SimdZigguratTest, FillStreamBitwiseAcrossIsas) {
+  const size_t kNs[] = {1, 3, 7, 8, 9, 130, 4095, 4096, 4097, 2 * 4096 + 77};
+  for (size_t n : kNs) {
+    std::vector<float> want(n);
+    {
+      simd::ScopedForceIsa force(IsaLevel::kScalar);
+      SplitRng rng(57, {11});
+      rng.FillGaussian(want.data(), n, 0.8);
+    }
+    for (IsaLevel level : kAllIsas) {
+      if (simd::KernelsFor(level) == nullptr) continue;
+      SCOPED_TRACE(simd::IsaName(level));
+      simd::ScopedForceIsa force(level);
+      std::vector<float> got(n);
+      SplitRng rng(57, {11});
+      rng.FillGaussian(got.data(), n, 0.8);
+      ExpectBitEqual(want, got);
+    }
+  }
+}
+
+TEST(SimdZigguratTest, AddStreamBitwiseAcrossIsas) {
+  const size_t n = 4096 + 130;
+  std::vector<float> want(n, 1.25f);
+  {
+    simd::ScopedForceIsa force(IsaLevel::kScalar);
+    SplitRng rng(61, {13});
+    rng.AddGaussian(want.data(), n, 1.7);
+  }
+  for (IsaLevel level : kAllIsas) {
+    if (simd::KernelsFor(level) == nullptr) continue;
+    SCOPED_TRACE(simd::IsaName(level));
+    simd::ScopedForceIsa force(level);
+    std::vector<float> got(n, 1.25f);
+    SplitRng rng(61, {13});
+    rng.AddGaussian(got.data(), n, 1.7);
+    ExpectBitEqual(want, got);
+  }
+}
+
+}  // namespace
+}  // namespace dpbr

@@ -9,6 +9,7 @@
 #include "aggregators/fltrust.h"
 #include "aggregators/mean.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "data/synthetic.h"
 #include "nn/loss.h"
 #include "nn/model_zoo.h"
@@ -136,6 +137,47 @@ TEST(ServerTest, NonFiniteRowIsZeroedInPlace) {
   for (size_t k = 0; k < s.dim(); ++k) {
     EXPECT_EQ(block[k], 1.0f);
     EXPECT_EQ(block[s.dim() + k], 0.0f);
+  }
+}
+
+TEST(ServerTest, SanitizeNeutralizesIdenticallyAcrossSimdTiers) {
+  // The sanitize scan routes through the dispatched all_finite_f32
+  // kernel: every tier must classify — and therefore zero — exactly the
+  // same rows the scalar reference does, including rows whose only
+  // offender is ±Inf, a NaN in the final (scalar-tail) element, or a row
+  // of hostile-but-finite values (denormals, ±0) that must survive.
+  auto run = [](simd::IsaLevel level) {
+    simd::ScopedForceIsa force(level);
+    Server s(nn::MlpFactory(16, 8, 4),
+             std::make_unique<agg::MeanAggregator>(), data::DatasetView(),
+             1);
+    size_t dim = s.dim();
+    std::vector<float> block(4 * dim, 1.0f);
+    block[3] = std::nan("");                       // row 0: NaN early
+    block[2 * dim - 1] = -std::numeric_limits<float>::infinity();  // row 1
+    block[2 * dim] = -0.0f;                        // row 2: finite edges
+    block[2 * dim + 1] = std::numeric_limits<float>::denorm_min();
+    // row 3 stays clean.
+    agg::AggregationContext ctx;
+    EXPECT_TRUE(s.Step(RowSpan(block.data(), 4, dim), 0.5, ctx).ok());
+    block.insert(block.end(), s.params().begin(), s.params().end());
+    return block;
+  };
+  std::vector<float> want = run(simd::IsaLevel::kScalar);
+  size_t dim = nn::MakeMlp(16, 8, 4)->NumParams();
+  // The scalar reference itself: poisoned rows zeroed, edge row kept.
+  EXPECT_EQ(want[0], 0.0f);
+  EXPECT_EQ(want[dim], 0.0f);
+  EXPECT_EQ(want[2 * dim + 2], 1.0f);
+  for (simd::IsaLevel level :
+       {simd::IsaLevel::kSse2, simd::IsaLevel::kAvx2,
+        simd::IsaLevel::kAvx512}) {
+    if (simd::KernelsFor(level) == nullptr) continue;
+    std::vector<float> got = run(level);
+    ASSERT_EQ(want.size(), got.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(want[i], got[i]) << simd::IsaName(level) << " index " << i;
+    }
   }
 }
 

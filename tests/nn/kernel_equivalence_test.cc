@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "nn/activations.h"
 #include "nn/conv2d.h"
@@ -609,6 +610,35 @@ BatchedModelRun RunBatchedModelUnderPool(size_t pool_size) {
   r.grads.resize(kN * model->NumParams());
   model->BackwardBatchTo(lg.grad_logits, kN, r.grads.data());
   return r;
+}
+
+// The SIMD dispatch contract, end to end: the whole batched model path
+// (GEMM microkernel, activations, GroupNorm, pooling) must be
+// bit-identical between the scalar reference tier and every vector tier
+// the host can run — under pool sizes 1, 2 and hardware concurrency.
+TEST(KernelEquivalenceTest, BatchedModelPathBitwiseAcrossSimdTiers) {
+  size_t hw = std::max<size_t>(2, std::thread::hardware_concurrency());
+  for (size_t threads : {size_t{1}, size_t{2}, hw}) {
+    BatchedModelRun want;
+    {
+      simd::ScopedForceIsa force(simd::IsaLevel::kScalar);
+      want = RunBatchedModelUnderPool(threads);
+    }
+    for (simd::IsaLevel level :
+         {simd::IsaLevel::kSse2, simd::IsaLevel::kAvx2,
+          simd::IsaLevel::kAvx512}) {
+      if (simd::KernelsFor(level) == nullptr) continue;
+      simd::ScopedForceIsa force(level);
+      BatchedModelRun got = RunBatchedModelUnderPool(threads);
+      ASSERT_EQ(want.logits.shape(), got.logits.shape());
+      for (size_t i = 0; i < want.logits.size(); ++i) {
+        ASSERT_EQ(want.logits[i], got.logits[i])
+            << simd::IsaName(level) << " pool " << threads << " logit " << i;
+      }
+      ASSERT_EQ(want.grads, got.grads)
+          << simd::IsaName(level) << " pool " << threads;
+    }
+  }
 }
 
 TEST(KernelEquivalenceTest, BatchedModelPathPoolInvariant) {
