@@ -38,9 +38,9 @@ class Flags {
 
   /// Strict accessors; error when present but unparseable or out of
   /// range.
-  Result<int64_t> GetIntOrStatus(const std::string& name,
+  [[nodiscard]] Result<int64_t> GetIntOrStatus(const std::string& name,
                                  int64_t default_value) const;
-  Result<double> GetDoubleOrStatus(const std::string& name,
+  [[nodiscard]] Result<double> GetDoubleOrStatus(const std::string& name,
                                    double default_value) const;
 
   /// Comma-separated list of doubles, e.g. --eps=0.125,0.25,2.

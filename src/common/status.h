@@ -38,7 +38,13 @@ const char* StatusCodeName(StatusCode code);
 ///     if (n <= 0) return Status::InvalidArgument("n must be positive");
 ///     return Status::OK();
 ///   }
-class Status {
+///
+/// The class-level [[nodiscard]] makes EVERY function returning Status
+/// warn (error under -Werror) when a caller drops the result. Consume
+/// it, propagate with DPBR_RETURN_NOT_OK, or — for the rare call whose
+/// failure is genuinely acceptable — cast to (void) with a comment
+/// saying why.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -88,8 +94,11 @@ class Status {
 ///   Result<Tensor> t = Tensor::FromShape({2, 3});
 ///   if (!t.ok()) return t.status();
 ///   Use(t.value());
+///
+/// [[nodiscard]] for the same reason as Status: a dropped Result is a
+/// dropped error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value)  // NOLINT(google-explicit-constructor)

@@ -59,24 +59,24 @@ class ByteReader {
       : data_(data.data()), size_(data.size()) {}
   ByteReader(const char* data, size_t size) : data_(data), size_(size) {}
 
-  Status GetU8(uint8_t* out);
-  Status GetU32(uint32_t* out);
-  Status GetU64(uint64_t* out);
-  Status GetI64(int64_t* out);
-  Status GetDouble(double* out);
-  Status GetFloatVec(std::vector<float>* out);
-  Status GetDoubleVec(std::vector<double>* out);
-  Status GetIntVec(std::vector<int>* out);
-  Status GetString(std::string* out);
+  [[nodiscard]] Status GetU8(uint8_t* out);
+  [[nodiscard]] Status GetU32(uint32_t* out);
+  [[nodiscard]] Status GetU64(uint64_t* out);
+  [[nodiscard]] Status GetI64(int64_t* out);
+  [[nodiscard]] Status GetDouble(double* out);
+  [[nodiscard]] Status GetFloatVec(std::vector<float>* out);
+  [[nodiscard]] Status GetDoubleVec(std::vector<double>* out);
+  [[nodiscard]] Status GetIntVec(std::vector<int>* out);
+  [[nodiscard]] Status GetString(std::string* out);
 
   size_t remaining() const { return size_ - pos_; }
   bool AtEnd() const { return pos_ == size_; }
 
  private:
-  Status Take(void* out, size_t n);
+  [[nodiscard]] Status Take(void* out, size_t n);
   /// Reads a u64 element count and validates count*elem_size against the
   /// bytes remaining (corrupt lengths fail instead of allocating).
-  Status TakeCount(size_t elem_size, size_t* count);
+  [[nodiscard]] Status TakeCount(size_t elem_size, size_t* count);
 
   const char* data_;
   size_t size_;

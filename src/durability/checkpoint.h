@@ -41,13 +41,14 @@ std::string CheckpointPath(const std::string& dir, int64_t round);
 /// `dir` (created when missing), then prunes all but the newest
 /// kCheckpointsRetained checkpoints. After OK, a crash at any point
 /// leaves the file either fully present or fully absent.
-Status WriteCheckpoint(const std::string& dir, int64_t round,
-                       const std::string& payload);
+[[nodiscard]] Status WriteCheckpoint(const std::string& dir, int64_t round,
+                                     const std::string& payload);
 
 /// Validates and unwraps one checkpoint file. NotFound for a missing
 /// file; InvalidArgument (with the failing check) for short files, bad
 /// magic, unknown versions, length mismatches and CRC failures.
-Result<std::string> ReadCheckpointPayload(const std::string& path);
+[[nodiscard]] Result<std::string> ReadCheckpointPayload(
+    const std::string& path);
 
 /// One recovered snapshot.
 struct LoadedCheckpoint {
@@ -68,7 +69,8 @@ struct MaybeCheckpoint {
   bool found = false;
   LoadedCheckpoint checkpoint;
 };
-Result<MaybeCheckpoint> LoadLatestCheckpoint(const std::string& dir);
+[[nodiscard]] Result<MaybeCheckpoint> LoadLatestCheckpoint(
+    const std::string& dir);
 
 }  // namespace durability
 }  // namespace dpbr

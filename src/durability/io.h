@@ -21,28 +21,29 @@ namespace durability {
 
 /// Creates `path` as a directory when it does not already exist,
 /// building missing parents (mkdir -p). Existing directories are OK.
-Status EnsureDir(const std::string& path);
+[[nodiscard]] Status EnsureDir(const std::string& path);
 
 /// True when `path` names an existing file or directory.
 bool PathExists(const std::string& path);
 
 /// Whole-file read. NotFound when the file does not exist.
-Result<std::string> ReadFileToString(const std::string& path);
+[[nodiscard]] Result<std::string> ReadFileToString(const std::string& path);
 
 /// Atomically replaces `path` with `contents`: writes `path`.tmp in the
 /// same directory, fsyncs it, renames it over `path` and fsyncs the
 /// parent directory. On any failure the temp file is unlinked and `path`
 /// is left untouched.
-Status WriteFileAtomic(const std::string& path, const std::string& contents);
+[[nodiscard]] Status WriteFileAtomic(const std::string& path,
+                                     const std::string& contents);
 
 /// Unlinks `path`; missing files are OK (idempotent cleanup).
-Status RemoveFile(const std::string& path);
+[[nodiscard]] Status RemoveFile(const std::string& path);
 
 /// Names (not paths) of the entries in `dir`, sorted, "."/".." excluded.
-Result<std::vector<std::string>> ListDir(const std::string& dir);
+[[nodiscard]] Result<std::vector<std::string>> ListDir(const std::string& dir);
 
 /// fsyncs the directory itself, persisting renames/unlinks inside it.
-Status SyncDir(const std::string& dir);
+[[nodiscard]] Status SyncDir(const std::string& dir);
 
 }  // namespace durability
 }  // namespace dpbr

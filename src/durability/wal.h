@@ -46,16 +46,16 @@ class WalWriter {
   /// Opens `path` for appending, creating it when missing. With
   /// `truncate`, existing contents are discarded first (the resume path:
   /// replayed records are subsumed by the snapshot being restored).
-  static Result<WalWriter> Open(const std::string& path,
+  [[nodiscard]] static Result<WalWriter> Open(const std::string& path,
                                 bool truncate = false);
 
   /// Frames `payload` and appends it with one write + fsync. The record
   /// is durable when this returns OK.
-  Status Append(const std::string& payload);
+  [[nodiscard]] Status Append(const std::string& payload);
 
   /// Closes the descriptor (also done by the destructor, which swallows
   /// errors; call Close() where the result matters).
-  Status Close();
+  [[nodiscard]] Status Close();
 
   bool is_open() const { return fd_ >= 0; }
 
@@ -80,7 +80,7 @@ struct WalReadResult {
 /// Replays `path` front-to-back. A missing file is an empty, clean log.
 /// Torn/truncated/corrupt frames end the scan as described above; hard
 /// I/O errors (unreadable file) return a non-OK status.
-Result<WalReadResult> ReadWal(const std::string& path);
+[[nodiscard]] Result<WalReadResult> ReadWal(const std::string& path);
 
 }  // namespace durability
 }  // namespace dpbr

@@ -121,12 +121,14 @@ Result<std::vector<float>> Server::ComputeServerGradient() {
   // only on kExampleBlock, never on the pool size.
   size_t dim = params_.size();
   size_t num_blocks = (aux_.size() + kExampleBlock - 1) / kExampleBlock;
-  std::vector<std::vector<float>> partial(num_blocks);
+  // Every per-block accumulator is sized (and zeroed) before the
+  // dispatch so the bodies never allocate into the shared outer vector.
+  std::vector<std::vector<float>> partial(num_blocks,
+                                          std::vector<float>(dim, 0.0f));
   ParallelForBlocked(aux_.size(), kExampleBlock, [&](size_t lo, size_t hi) {
     std::unique_ptr<nn::Sequential> model = factory_();
     model->SetParamsFrom(params_.data());
     std::vector<float>& acc = partial[lo / kExampleBlock];
-    acc.assign(dim, 0.0f);
     // One batched forward/backward per block; per-example rows are then
     // folded in index order, matching the old per-example reduction.
     size_t n = hi - lo;

@@ -154,6 +154,7 @@ void GemmBatchedNN(
     // per-example path. Panel contents never outlive the example's
     // tiles, so this sharing cannot change any output bit.
     static thread_local std::vector<float> panel;
+    // dpbr-lint: allow(hotpath-alloc) -- grow-only thread-local panel
     if (panel.size() < k * n) panel.resize(k * n);
     for (size_t ex = e0; ex < e1; ++ex) {
       fill_panel(ex, panel.data());
@@ -189,6 +190,7 @@ void GemmBatchedNT(
     // so an epilogue that runs a batch-1 GemmBatchedTN (Conv2d's dX)
     // cannot clobber the panel it was handed.
     static thread_local std::vector<float> panel;
+    // dpbr-lint: allow(hotpath-alloc) -- grow-only thread-local panel
     if (panel.size() < n * k) panel.resize(n * k);
     for (size_t ex = e0; ex < e1; ++ex) {
       fill_b(ex, panel.data());
@@ -208,6 +210,7 @@ void GemmBatchedTN(
   if (m == 0 || n == 0 || batch == 0) return;
   ParallelForBlocked(batch, 1, [&](size_t e0, size_t e1) {
     static thread_local std::vector<float> panel;
+    // dpbr-lint: allow(hotpath-alloc) -- grow-only thread-local panel
     if (panel.size() < m * n) panel.resize(m * n);
     for (size_t ex = e0; ex < e1; ++ex) {
       GemmTNRows(0, m, m, k, n, a, b + ex * b_stride, panel.data());

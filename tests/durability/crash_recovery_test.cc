@@ -129,12 +129,13 @@ class CrashRecoveryTest : public ::testing::Test {
         std::string sub = base_ + "/" + d;
         auto names = durability::ListDir(sub);
         if (names.ok()) {
+          // Best-effort temp-dir sweep; leftovers only leak /tmp space.
           for (const auto& n : names.value()) {
-            durability::RemoveFile(sub + "/" + n);
+            (void)durability::RemoveFile(sub + "/" + n);
           }
           rmdir(sub.c_str());
         } else {
-          durability::RemoveFile(sub);
+          (void)durability::RemoveFile(sub);
         }
       }
     }

@@ -33,7 +33,8 @@ class WalTest : public ::testing::Test {
   void TearDown() override {
     auto names = ListDir(dir_);
     if (names.ok()) {
-      for (const auto& n : names.value()) RemoveFile(dir_ + "/" + n);
+      // Best-effort temp-dir sweep; a leftover file only leaks /tmp space.
+      for (const auto& n : names.value()) (void)RemoveFile(dir_ + "/" + n);
     }
     rmdir(dir_.c_str());
   }

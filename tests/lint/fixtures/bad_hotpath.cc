@@ -1,0 +1,47 @@
+// Known-bad fixture: allocation, locking and I/O inside lambdas passed
+// to ParallelFor / ParallelForBlocked (the grow-only Workspace rule
+// from docs/architecture.md). The same constructs OUTSIDE a dispatch
+// body are legal and must not fire.
+// lint-as: src/fixture/bad_hotpath.cc
+
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+namespace dpbr {
+
+void ParallelFor(size_t begin, size_t end, void (*body)(size_t));
+void ParallelForBlocked(size_t total, size_t block, void (*body)(size_t,
+                                                                 size_t));
+
+void GrowsInsideDispatch(std::vector<float>& out, size_t n) {
+  out.reserve(n);  // legal: sized before the dispatch
+  ParallelFor(0, n, [&](size_t i) {
+    out.push_back(static_cast<float>(i));  // expect-lint: hotpath-alloc
+    float* scratch = new float[8];         // expect-lint: hotpath-alloc
+    delete[] scratch;
+  });
+}
+
+void ResizesInsideBlockedDispatch(std::vector<double>& buf) {
+  ParallelForBlocked(buf.size(), 64, [&](size_t lo, size_t hi) {
+    std::vector<double> local;
+    local.resize(hi - lo);  // expect-lint: hotpath-alloc
+  });
+}
+
+void LocksInsideDispatch(std::vector<float>& out) {
+  std::mutex mu;  // legal outside the body
+  ParallelFor(0, out.size(), [&](size_t i) {
+    std::lock_guard<std::mutex> hold(mu);  // expect-lint: hotpath-lock
+    out[i] = 0.0f;
+  });
+}
+
+void LogsInsideDispatch(const std::vector<float>& xs) {
+  ParallelForBlocked(xs.size(), 128, [&](size_t lo, size_t hi) {
+    printf("block [%zu, %zu)\n", lo, hi);  // expect-lint: hotpath-io
+  });
+}
+
+}  // namespace dpbr

@@ -1,0 +1,45 @@
+// Known-bad fixture: every nondeterminism-family check must fire on
+// the annotated lines (and nowhere else). Linted as if it lived in a
+// result-producing src/ path.
+// lint-as: src/fixture/bad_nondeterminism.cc
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dpbr {
+
+int DrawFromLibcRand() {
+  return rand() % 7;  // expect-lint: nondet-rand
+}
+
+void SeedFromEntropy() {
+  std::random_device rd;  // expect-lint: nondet-rand
+  srand(rd());            // expect-lint: nondet-rand
+}
+
+long StampResult() {
+  return time(nullptr);  // expect-lint: nondet-time
+}
+
+double ElapsedIntoOutput() {
+  auto t0 = std::chrono::steady_clock::now();  // expect-lint: nondet-time
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+// Hash-map iteration order is libstdc++-internal: summing in bucket
+// order is not bitwise reproducible across standard libraries.
+double SumScores(const std::unordered_map<int, double>& scores) {  // expect-lint: nondet-unordered
+  double total = 0.0;
+  for (const auto& kv : scores) total += kv.second;
+  return total;
+}
+
+int CountDistinct(const std::unordered_set<int>& seen) {  // expect-lint: nondet-unordered
+  return static_cast<int>(seen.size());
+}
+
+}  // namespace dpbr

@@ -1,0 +1,41 @@
+// Known-bad fixture: Status/Result-returning calls whose result is
+// dropped on the floor. The consumed forms below must NOT fire.
+// lint-as: src/fixture/bad_status.cc
+
+#include <string>
+
+namespace dpbr {
+
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+template <typename T>
+class Result {
+ public:
+  bool ok() const { return true; }
+};
+
+Status PersistLedger(const std::string& path);
+Result<int> CountFrames(const std::string& path);
+
+class Journal {
+ public:
+  Status Truncate(size_t frames);
+};
+
+void DiscardsEverything(Journal& j) {
+  PersistLedger("wal");  // expect-lint: status-discard
+  CountFrames("wal");    // expect-lint: status-discard
+  j.Truncate(3);         // expect-lint: status-discard
+}
+
+Status ConsumesEverything(Journal& j) {
+  Status st = PersistLedger("wal");  // consumed: assigned
+  if (!st.ok()) return st;
+  (void)CountFrames("wal");  // consumed: explicit void cast
+  return j.Truncate(3);      // consumed: returned
+}
+
+}  // namespace dpbr

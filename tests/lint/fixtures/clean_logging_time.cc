@@ -1,0 +1,22 @@
+// Known-clean fixture: wall-clock reads are legal in the allowlisted
+// logging/shutdown files (timestamps never feed aggregation results).
+// This file is linted under the identity of src/common/logging.cc, so
+// the nondet-time findings below are file-allowlisted away and the
+// self-test demands zero findings.
+// lint-as: src/common/logging.cc
+
+#include <chrono>
+#include <ctime>
+
+namespace dpbr {
+
+long LogStampSeconds() { return time(nullptr); }
+
+double LogStampMillis() {
+  auto now = std::chrono::system_clock::now();
+  return std::chrono::duration<double, std::milli>(
+             now.time_since_epoch())
+      .count();
+}
+
+}  // namespace dpbr
