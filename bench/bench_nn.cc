@@ -388,16 +388,51 @@ void BM_LocalStepCnn(benchmark::State& state) {
 }
 BENCHMARK(BM_LocalStepCnn)->Unit(benchmark::kMillisecond);
 
-// The backward-dominated unit of the worker step in isolation: batched
-// forward + loss + per-example-gradient backward through the whole CNN,
-// one dispatch per layer in each direction. This is the surface the
-// batched backward GEMMs accelerate (BM_LocalStepCnn adds clipping,
-// momentum and noise on top).
-void BM_LocalStepCnnBackward(benchmark::State& state) {
+// --- Whole-CNN batched step, fused (FusionPlan active, ~3 dispatches
+// per direction) against the plain one-dispatch-per-layer loop
+// (SetFusionEnabled(false)). Forward-only and forward+loss+backward
+// variants; the fused/unfused pairs feed parity-floor ratio gates in
+// scripts/check_bench_regression.py. The backward variants time the
+// full round trip (the cached-state contract ties each backward to its
+// own forward), so the ratio there mixes both directions.
+
+std::unique_ptr<nn::Sequential> StepCnn(bool fused, SplitRng* rng) {
   std::unique_ptr<nn::Sequential> model =
       nn::CnnFactory(1, kOutCh, kKernel, 10)();
+  model->SetFusionEnabled(fused);
+  model->InitParams(rng);
+  return model;
+}
+
+void LocalStepCnnForward(benchmark::State& state, bool fused) {
   SplitRng rng(31);
-  model->InitParams(&rng);
+  std::unique_ptr<nn::Sequential> model = StepCnn(fused, &rng);
+  constexpr size_t kN = 16;
+  Tensor batch({kN, 1, kImg, kImg});
+  batch.FillGaussian(&rng, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->ForwardBatch(batch));
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+
+void BM_LocalStepCnnForward(benchmark::State& state) {
+  LocalStepCnnForward(state, /*fused=*/true);
+}
+BENCHMARK(BM_LocalStepCnnForward)->Unit(benchmark::kMillisecond);
+
+void BM_LocalStepCnnForwardUnfused(benchmark::State& state) {
+  LocalStepCnnForward(state, /*fused=*/false);
+}
+BENCHMARK(BM_LocalStepCnnForwardUnfused)->Unit(benchmark::kMillisecond);
+
+// The backward-dominated unit of the worker step in isolation: batched
+// forward + loss + per-example-gradient backward through the whole CNN.
+// This is the surface the batched backward GEMMs and the fused stages
+// accelerate (BM_LocalStepCnn adds clipping, momentum and noise on top).
+void LocalStepCnnBackward(benchmark::State& state, bool fused) {
+  SplitRng rng(31);
+  std::unique_ptr<nn::Sequential> model = StepCnn(fused, &rng);
   constexpr size_t kN = 16;
   Tensor batch({kN, 1, kImg, kImg});
   batch.FillGaussian(&rng, 1.0);
@@ -414,7 +449,16 @@ void BM_LocalStepCnnBackward(benchmark::State& state) {
   state.counters["d"] = static_cast<double>(dim);
   state.SetItemsProcessed(state.iterations() * kN);
 }
+
+void BM_LocalStepCnnBackward(benchmark::State& state) {
+  LocalStepCnnBackward(state, /*fused=*/true);
+}
 BENCHMARK(BM_LocalStepCnnBackward)->Unit(benchmark::kMillisecond);
+
+void BM_LocalStepCnnBackwardUnfused(benchmark::State& state) {
+  LocalStepCnnBackward(state, /*fused=*/false);
+}
+BENCHMARK(BM_LocalStepCnnBackwardUnfused)->Unit(benchmark::kMillisecond);
 
 // GEMM conv must agree with itself bit-for-bit across pool sizes, and
 // with the naive kernel to 1e-4 — checked before the timing loops so a

@@ -52,6 +52,7 @@ HOT_BENCHMARKS = [
     "BM_PoolForwardBatch",
     "BM_GemmConvShape",
     "BM_LocalStepCnn",
+    "BM_LocalStepCnnForward",
     "BM_LocalStepCnnBackward",
     "BM_RoundUpload/1000",
     "BM_RoundUpload/10000",
@@ -111,6 +112,30 @@ RATIO_GATES = [
         "BM_LinearBackwardBatch",
         0.85,
         "batched linear backward >= per-example loop (parity floor)",
+    ),
+    # Stage-fusion floors: the fused whole-CNN batched step (FusionPlan
+    # active, ~3 dispatches per direction) against the plain per-layer
+    # loop in the SAME run. Flop count and accumulation order are
+    # bitwise identical; the fused win is dispatch amortization plus
+    # panel locality (intermediate activations stay in per-thread
+    # panels instead of round-tripping full batch tensors), so on one
+    # core the bound is parity minus run-to-run noise (~8% observed at
+    # min_time=0.05) and multi-core runners gain on top. A planner that
+    # silently stops fusing degenerates to exactly 1.0x here — caught
+    # first by the exact dispatch-count assertions in
+    # tests/nn/kernel_equivalence_test.cc; these floors catch a fused
+    # path that became slower than the loop it replaced.
+    (
+        "BM_LocalStepCnnForwardUnfused",
+        "BM_LocalStepCnnForward",
+        0.9,
+        "fused CNN batched forward >= per-layer loop (parity floor)",
+    ),
+    (
+        "BM_LocalStepCnnBackwardUnfused",
+        "BM_LocalStepCnnBackward",
+        0.9,
+        "fused CNN fwd+bwd step >= per-layer loop (parity floor)",
     ),
     # SIMD-vs-scalar floors for the dispatched kernel layer
     # (bench_simd.cc): each pair runs the same kernel on the best

@@ -483,6 +483,12 @@ def _scan_hot_body(rel, ct, lo, hi, findings):
                 f"'{t.text}' ({kind}) inside a ParallelFor body; "
                 "size buffers before dispatch (grow-only Workspace "
                 "rule, docs/architecture.md)"))
+        elif t.text == "function" and prev == "::" and nxt == "<":
+            findings.append(Finding(
+                rel, t.line, "hotpath-alloc",
+                "'std::function' inside a ParallelFor body; type "
+                "erasure heap-allocates per call site — borrow the "
+                "callable with FunctionRef (src/common/function_ref.h)"))
         elif t.text in HOTPATH_LOCK_TYPES:
             findings.append(Finding(
                 rel, t.line, "hotpath-lock",

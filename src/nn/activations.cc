@@ -31,7 +31,7 @@ Tensor Elu::Forward(const Tensor& x) {
 }
 
 Tensor Elu::Backward(const Tensor& grad_out) {
-  const std::vector<size_t>& in = state_.RequirePerExample("ELU");
+  const std::vector<size_t>& in = RequirePerExampleState();
   DPBR_CHECK(grad_out.shape() == in);
   Tensor dx = grad_out;
   float a = static_cast<float>(alpha_);
@@ -41,7 +41,7 @@ Tensor Elu::Backward(const Tensor& grad_out) {
 }
 
 Tensor Elu::ForwardBatch(const Tensor& x) {
-  DPBR_CHECK_GE(x.ndim(), 2u);
+  RequireBatchedInput(x, 2, /*at_least_rank=*/true);
   Tensor y = x;
   float a = static_cast<float>(alpha_);
   float* cached = ws_.Get(kOutSlot, y.size());
@@ -57,8 +57,8 @@ Tensor Elu::ForwardBatch(const Tensor& x) {
 
 Tensor Elu::BackwardBatch(const Tensor& grad_out,
                           const PerExampleGradSink& /*sink*/) {
-  const std::vector<size_t>& in = state_.RequireBatched("ELU");
-  DPBR_CHECK(grad_out.shape() == in);
+  const std::vector<size_t>& in = RequireBatchedState();
+  RequireGradShape(grad_out, in);
   Tensor dx = grad_out;
   float a = static_cast<float>(alpha_);
   const float* y = ws_.Get(kOutSlot, dx.size());
@@ -68,6 +68,41 @@ Tensor Elu::BackwardBatch(const Tensor& grad_out,
     kern.elu_grad_f32(dxd + lo, y + lo, hi - lo, a);
   });
   return dx;
+}
+
+std::vector<size_t> Elu::FuseForwardPrepare(
+    size_t batch, const std::vector<size_t>& in_shape) {
+  fused_n_ = 1;
+  for (size_t d : in_shape) fused_n_ *= d;
+  fused_cache_ = ws_.Get(kOutSlot, batch * fused_n_);
+  std::vector<size_t> shape;
+  shape.reserve(in_shape.size() + 1);
+  shape.push_back(batch);
+  shape.insert(shape.end(), in_shape.begin(), in_shape.end());
+  state_.SetBatchedFused(shape);
+  return in_shape;
+}
+
+void Elu::FuseForwardEpilogue(size_t ex, float* block) {
+  // In place on the anchor's hot panel; the elementwise kernel is
+  // chunking-invariant, so this equals the unfused blocked dispatch.
+  float a = static_cast<float>(alpha_);
+  simd::Kernels().elu_f32(block, fused_n_, a);
+  std::memcpy(fused_cache_ + ex * fused_n_, block, fused_n_ * sizeof(float));
+}
+
+void Elu::FuseBackwardPrepare() {
+  const std::vector<size_t>& in = RequireBatchedState();
+  fused_n_ = 1;
+  for (size_t i = 1; i < in.size(); ++i) fused_n_ *= in[i];
+  fused_cache_ = ws_.Get(kOutSlot, in[0] * fused_n_);
+}
+
+void Elu::FuseBackwardEpilogue(size_t ex, float* block,
+                               const PerExampleGradSink& /*sink*/) {
+  float a = static_cast<float>(alpha_);
+  simd::Kernels().elu_grad_f32(block, fused_cache_ + ex * fused_n_, fused_n_,
+                               a);
 }
 
 Tensor Relu::Forward(const Tensor& x) {
@@ -80,7 +115,7 @@ Tensor Relu::Forward(const Tensor& x) {
 }
 
 Tensor Relu::Backward(const Tensor& grad_out) {
-  const std::vector<size_t>& in = state_.RequirePerExample("ReLU");
+  const std::vector<size_t>& in = RequirePerExampleState();
   DPBR_CHECK(grad_out.shape() == in);
   Tensor dx = grad_out;
   const float* y = ws_.Get(kOutSlot, dx.size());
@@ -89,7 +124,7 @@ Tensor Relu::Backward(const Tensor& grad_out) {
 }
 
 Tensor Relu::ForwardBatch(const Tensor& x) {
-  DPBR_CHECK_GE(x.ndim(), 2u);
+  RequireBatchedInput(x, 2, /*at_least_rank=*/true);
   Tensor y = x;
   float* cached = ws_.Get(kOutSlot, y.size());
   float* yd = y.data();
@@ -104,8 +139,8 @@ Tensor Relu::ForwardBatch(const Tensor& x) {
 
 Tensor Relu::BackwardBatch(const Tensor& grad_out,
                            const PerExampleGradSink& /*sink*/) {
-  const std::vector<size_t>& in = state_.RequireBatched("ReLU");
-  DPBR_CHECK(grad_out.shape() == in);
+  const std::vector<size_t>& in = RequireBatchedState();
+  RequireGradShape(grad_out, in);
   Tensor dx = grad_out;
   const float* y = ws_.Get(kOutSlot, dx.size());
   float* dxd = dx.data();
@@ -114,6 +149,36 @@ Tensor Relu::BackwardBatch(const Tensor& grad_out,
     kern.relu_grad_f32(dxd + lo, y + lo, hi - lo);
   });
   return dx;
+}
+
+std::vector<size_t> Relu::FuseForwardPrepare(
+    size_t batch, const std::vector<size_t>& in_shape) {
+  fused_n_ = 1;
+  for (size_t d : in_shape) fused_n_ *= d;
+  fused_cache_ = ws_.Get(kOutSlot, batch * fused_n_);
+  std::vector<size_t> shape;
+  shape.reserve(in_shape.size() + 1);
+  shape.push_back(batch);
+  shape.insert(shape.end(), in_shape.begin(), in_shape.end());
+  state_.SetBatchedFused(shape);
+  return in_shape;
+}
+
+void Relu::FuseForwardEpilogue(size_t ex, float* block) {
+  simd::Kernels().relu_f32(block, fused_n_);
+  std::memcpy(fused_cache_ + ex * fused_n_, block, fused_n_ * sizeof(float));
+}
+
+void Relu::FuseBackwardPrepare() {
+  const std::vector<size_t>& in = RequireBatchedState();
+  fused_n_ = 1;
+  for (size_t i = 1; i < in.size(); ++i) fused_n_ *= in[i];
+  fused_cache_ = ws_.Get(kOutSlot, in[0] * fused_n_);
+}
+
+void Relu::FuseBackwardEpilogue(size_t ex, float* block,
+                                const PerExampleGradSink& /*sink*/) {
+  simd::Kernels().relu_grad_f32(block, fused_cache_ + ex * fused_n_, fused_n_);
 }
 
 }  // namespace nn

@@ -32,10 +32,27 @@ class Elu : public Layer {
                        const PerExampleGradSink& sink) override;
   std::string name() const override { return "ELU"; }
 
+  // Stage-fusion epilogue: in-place elementwise transform of the
+  // anchor's output block, caching the output at the example's offset —
+  // the same elu_f32 / elu_grad_f32 kernels as the unfused dispatches,
+  // so fused == unfused bitwise.
+  FusionInfo fusion_info() const override {
+    return {/*anchor=*/false, /*epilogue=*/true};
+  }
+  std::vector<size_t> FuseForwardPrepare(
+      size_t batch, const std::vector<size_t>& in_shape) override;
+  void FuseForwardEpilogue(size_t ex, float* block) override;
+  void FuseBackwardPrepare() override;
+  void FuseBackwardEpilogue(size_t ex, float* block,
+                            const PerExampleGradSink& sink) override;
+
  private:
   double alpha_;
   Workspace ws_;  // slot 0: cached output(s)
-  BatchState state_;
+  // Fused per-example element count and cache pointer (stashed by the
+  // serial prepare hooks; in-dispatch hooks never grow the Workspace).
+  size_t fused_n_ = 0;
+  float* fused_cache_ = nullptr;
 };
 
 /// ReLU(x) = max(x, 0).
@@ -48,9 +65,21 @@ class Relu : public Layer {
                        const PerExampleGradSink& sink) override;
   std::string name() const override { return "ReLU"; }
 
+  // Stage-fusion epilogue (see Elu).
+  FusionInfo fusion_info() const override {
+    return {/*anchor=*/false, /*epilogue=*/true};
+  }
+  std::vector<size_t> FuseForwardPrepare(
+      size_t batch, const std::vector<size_t>& in_shape) override;
+  void FuseForwardEpilogue(size_t ex, float* block) override;
+  void FuseBackwardPrepare() override;
+  void FuseBackwardEpilogue(size_t ex, float* block,
+                            const PerExampleGradSink& sink) override;
+
  private:
   Workspace ws_;  // slot 0: cached output(s)
-  BatchState state_;
+  size_t fused_n_ = 0;
+  float* fused_cache_ = nullptr;
 };
 
 }  // namespace nn

@@ -164,14 +164,11 @@ Tensor Conv2d::Forward(const Tensor& x) {
 }
 
 Tensor Conv2d::Backward(const Tensor& grad_out) {
-  const std::vector<size_t>& in = state_.RequirePerExample("Conv2d");
+  const std::vector<size_t>& in = RequirePerExampleState();
   size_t h = in[1], w = in[2];
   size_t oh = h + 2 * pad_ - k_ + 1;
   size_t ow = w + 2 * pad_ - k_ + 1;
-  DPBR_CHECK_EQ(grad_out.ndim(), 3u);
-  DPBR_CHECK_EQ(grad_out.dim(0), out_ch_);
-  DPBR_CHECK_EQ(grad_out.dim(1), oh);
-  DPBR_CHECK_EQ(grad_out.dim(2), ow);
+  RequireGradShape(grad_out, {out_ch_, oh, ow});
   const float* x = ws_.Get(kInputSlot, in_ch_ * h * w);
   Tensor dx({in_ch_, h, w});
   BackwardOne(x, grad_out.data(), h, w, weight_grad_.data(),
@@ -180,9 +177,7 @@ Tensor Conv2d::Backward(const Tensor& grad_out) {
 }
 
 Tensor Conv2d::ForwardBatch(const Tensor& x) {
-  DPBR_CHECK_EQ(x.ndim(), 4u);
-  size_t batch = x.dim(0);
-  DPBR_CHECK_GT(batch, 0u);
+  size_t batch = RequireBatchedInput(x, 4);
   DPBR_CHECK_EQ(x.dim(1), in_ch_);
   size_t h = x.dim(2), w = x.dim(3);
   DPBR_CHECK_GE(h + 2 * pad_ + 1, k_);
@@ -221,15 +216,11 @@ Tensor Conv2d::ForwardBatch(const Tensor& x) {
 
 Tensor Conv2d::BackwardBatch(const Tensor& grad_out,
                              const PerExampleGradSink& sink) {
-  const std::vector<size_t>& in = state_.RequireBatched("Conv2d");
+  const std::vector<size_t>& in = RequireBatchedState();
   size_t batch = in[0], h = in[2], w = in[3];
   size_t oh = h + 2 * pad_ - k_ + 1;
   size_t ow = w + 2 * pad_ - k_ + 1;
-  DPBR_CHECK_EQ(grad_out.ndim(), 4u);
-  DPBR_CHECK_EQ(grad_out.dim(0), batch);
-  DPBR_CHECK_EQ(grad_out.dim(1), out_ch_);
-  DPBR_CHECK_EQ(grad_out.dim(2), oh);
-  DPBR_CHECK_EQ(grad_out.dim(3), ow);
+  RequireGradShape(grad_out, {batch, out_ch_, oh, ow});
   const float* x = ws_.Get(kInputSlot, batch * in_ch_ * h * w);
   Tensor dx({batch, in_ch_, h, w});
   size_t in_stride = in_ch_ * h * w;
@@ -280,6 +271,109 @@ Tensor Conv2d::BackwardBatch(const Tensor& grad_out,
                       });
       });
   return dx;
+}
+
+std::vector<size_t> Conv2d::FuseForwardPrepare(
+    size_t batch, const std::vector<size_t>& in_shape) {
+  DPBR_CHECK(kernel_ == Conv2dKernel::kGemm);
+  DPBR_CHECK_EQ(in_shape.size(), 3u);
+  DPBR_CHECK_EQ(in_shape[0], in_ch_);
+  size_t h = in_shape[1], w = in_shape[2];
+  DPBR_CHECK_GE(h + 2 * pad_ + 1, k_);
+  DPBR_CHECK_GE(w + 2 * pad_ + 1, k_);
+  fused_h_ = h;
+  fused_w_ = w;
+  fused_oh_ = h + 2 * pad_ - k_ + 1;
+  fused_ow_ = w + 2 * pad_ - k_ + 1;
+  fused_q_ = fused_oh_ * fused_ow_;
+  fused_kk_ = in_ch_ * k_ * k_;
+  fused_in_stride_ = in_ch_ * h * w;
+  fused_out_stride_ = out_ch_ * fused_q_;
+  // Grown here, serially — the in-dispatch hooks only read the pointer.
+  fused_in_cache_ = ws_.Get(kInputSlot, batch * fused_in_stride_);
+  state_.SetBatchedFused({batch, in_ch_, h, w});
+  return {out_ch_, fused_oh_, fused_ow_};
+}
+
+void Conv2d::FuseForwardAnchor(size_t ex, const float* x, float* y,
+                               EpilogueChain chain) {
+  // Cache this example's input slice (upstream groups hand panels whose
+  // contents die with the task; the backward re-expands im2col from
+  // here, exactly like the unfused batched path).
+  float* cached = fused_in_cache_ + ex * fused_in_stride_;
+  std::memcpy(cached, x, fused_in_stride_ * sizeof(float));
+  // Batch-1 batched GEMM: runs inline inside the enclosing fused
+  // dispatch (dispatch-free) with the identical tile sweep the unfused
+  // whole-batch GemmBatchedNN performs for this example — bitwise equal.
+  GemmBatchedNN(out_ch_, fused_kk_, fused_q_, 1, weight_.data(), y,
+                bias_.data(), [&](size_t, float* col) {
+                  Im2Col(cached, in_ch_, fused_h_, fused_w_, k_, pad_, col);
+                });
+  // The group's post-ops, on the output block while its tiles are hot —
+  // same statements, same order as the in-kernel chain of the
+  // whole-batch path.
+  chain.Apply(ex, y);
+}
+
+bool Conv2d::FuseForwardWholeBatch(size_t batch, const float* x, float* y,
+                                   EpilogueChain chain) {
+  if (kernel_ != Conv2dKernel::kGemm) return false;
+  std::memcpy(fused_in_cache_, x,
+              batch * fused_in_stride_ * sizeof(float));
+  const float* cached = fused_in_cache_;
+  size_t in_stride = fused_in_stride_;
+  size_t h = fused_h_, w = fused_w_;
+  // One dispatch for the whole group: conv tiles, then the epilogue
+  // chain (activation, normalization) applied to each example's output
+  // block inside its own task.
+  GemmBatchedNN(out_ch_, fused_kk_, fused_q_, batch, weight_.data(), y,
+                bias_.data(),
+                [&](size_t ex, float* col) {
+                  Im2Col(cached + ex * in_stride, in_ch_, h, w, k_, pad_,
+                         col);
+                },
+                chain);
+  return true;
+}
+
+void Conv2d::FuseBackwardPrepare() {
+  const std::vector<size_t>& in = RequireBatchedState();
+  size_t batch = in[0], h = in[2], w = in[3];
+  fused_h_ = h;
+  fused_w_ = w;
+  fused_oh_ = h + 2 * pad_ - k_ + 1;
+  fused_ow_ = w + 2 * pad_ - k_ + 1;
+  fused_q_ = fused_oh_ * fused_ow_;
+  fused_kk_ = in_ch_ * k_ * k_;
+  fused_in_stride_ = in_ch_ * h * w;
+  fused_out_stride_ = out_ch_ * fused_q_;
+  // No growth when a batched forward (fused or not) ran at this shape;
+  // re-deriving from state_ keeps the backward valid after either.
+  fused_in_cache_ = ws_.Get(kInputSlot, batch * fused_in_stride_);
+}
+
+void Conv2d::FuseBackwardAnchor(size_t ex, const float* gy, float* gx,
+                                const PerExampleGradSink& sink) {
+  // The unfused fused-batched backward's per-example task body, verbatim
+  // (same kernels, same order), against batch-1 views: dW row, bias row
+  // sums, then the col2im'd dX panel product.
+  const float* x_ex = fused_in_cache_ + ex * fused_in_stride_;
+  float* wgrad = sink.Slot(ex);
+  GemmBatchedNT(out_ch_, fused_q_, fused_kk_, 1, gy, 0,
+                [&](size_t, float* col) {
+                  Im2Col(x_ex, in_ch_, fused_h_, fused_w_, k_, pad_, col);
+                },
+                [&](size_t) { return wgrad; },
+                /*accumulate=*/true);
+  AccumulateBiasRowSums(gy, out_ch_, fused_q_, wgrad + weight_.size());
+  // Col2Im accumulates onto its target, so the panel (or dx slice) must
+  // start from zero like the unfused path's zero-initialized dx tensor.
+  std::memset(gx, 0, fused_in_stride_ * sizeof(float));
+  GemmBatchedTN(fused_kk_, out_ch_, fused_q_, 1, weight_.data(), gy, 0,
+                [&](size_t, const float* dcol) {
+                  Col2ImAccumulate(dcol, in_ch_, fused_h_, fused_w_, k_,
+                                   pad_, gx);
+                });
 }
 
 std::vector<ParamView> Conv2d::Params() {

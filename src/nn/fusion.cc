@@ -1,0 +1,266 @@
+#include "nn/fusion.h"
+
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "nn/gemm.h"
+#include "nn/sequential.h"
+
+namespace dpbr {
+namespace nn {
+namespace {
+
+size_t Product(const std::vector<size_t>& dims, size_t from = 0) {
+  size_t p = 1;
+  for (size_t i = from; i < dims.size(); ++i) p *= dims[i];
+  return p;
+}
+
+}  // namespace
+
+FusedStage::FusedStage(std::vector<Group> groups)
+    : groups_(std::move(groups)) {
+  DPBR_CHECK(!groups_.empty());
+  // Bind every epilogue once, up front: fwd_ops_ entries are FunctionRef
+  // borrows into calls_, so both vectors are sized exactly here and
+  // never touched again.
+  size_t total = 0;
+  for (const Group& g : groups_) total += g.epilogues.size();
+  calls_.reserve(total);
+  fwd_ops_.reserve(total);
+  chain_start_.reserve(groups_.size());
+  chain_count_.reserve(groups_.size());
+  for (const Group& g : groups_) {
+    chain_start_.push_back(calls_.size());
+    chain_count_.push_back(g.epilogues.size());
+    for (const Item& ep : g.epilogues) calls_.push_back(EpilogueCall{ep.layer});
+  }
+  for (const EpilogueCall& c : calls_) fwd_ops_.push_back(EpilogueOp(c));
+}
+
+size_t FusedStage::num_layers() const {
+  size_t n = 0;
+  for (const Group& g : groups_) n += 1 + g.epilogues.size();
+  return n;
+}
+
+Tensor FusedStage::ForwardBatch(const Tensor& x) {
+  DPBR_CHECK_GE(x.ndim(), 2u);
+  batch_ = x.dim(0);
+  DPBR_CHECK_GT(batch_, 0u);
+  in_shape_ = x.shape();
+  in_stride_ = Product(in_shape_, 1);
+
+  // Serial prepare sweep: every layer asserts its input shape, grows its
+  // caches for `batch_` examples and records the fused batched state —
+  // the only phase in which any Workspace may grow.
+  std::vector<size_t> shape(in_shape_.begin() + 1, in_shape_.end());
+  group_out_size_.clear();
+  for (const Group& g : groups_) {
+    shape = g.anchor.layer->FuseForwardPrepare(batch_, shape);
+    for (const Item& ep : g.epilogues) {
+      shape = ep.layer->FuseForwardPrepare(batch_, shape);
+    }
+    group_out_size_.push_back(Product(shape));
+  }
+  out_stride_ = group_out_size_.back();
+  out_shape_.assign(1, batch_);
+  out_shape_.insert(out_shape_.end(), shape.begin(), shape.end());
+  prepared_ = true;
+
+  Tensor y(out_shape_);
+  const float* xd = x.data();
+  float* yd = y.data();
+
+  // Single-group stages hand the whole microbatch to the anchor's
+  // batched kernel with the chain applied in-kernel (one dispatch, the
+  // epilogues run on each example's output block right after its tiles).
+  if (groups_.size() == 1 &&
+      groups_[0].anchor.layer->FuseForwardWholeBatch(batch_, xd, yd,
+                                                     chain(0))) {
+    return y;
+  }
+
+  // Multi-group (or no whole-batch kernel): ONE dispatch over examples;
+  // each example walks its groups serially, intermediates ping-pong
+  // between two per-thread panels and never leave the thread.
+  size_t max_inter = 0;
+  for (size_t g = 0; g + 1 < group_out_size_.size(); ++g) {
+    if (group_out_size_[g] > max_inter) max_inter = group_out_size_[g];
+  }
+  size_t ngroups = groups_.size();
+  ParallelForBlocked(batch_, 1, [&](size_t e0, size_t e1) {
+    float* pa =
+        max_inter ? ThreadPanel(kPanelSlotFusedFwdA, max_inter) : nullptr;
+    float* pb =
+        max_inter ? ThreadPanel(kPanelSlotFusedFwdB, max_inter) : nullptr;
+    for (size_t ex = e0; ex < e1; ++ex) {
+      const float* cur = xd + ex * in_stride_;
+      for (size_t g = 0; g < ngroups; ++g) {
+        float* out = (g + 1 == ngroups) ? yd + ex * out_stride_
+                                        : ((g % 2 != 0) ? pb : pa);
+        groups_[g].anchor.layer->FuseForwardAnchor(ex, cur, out, chain(g));
+        cur = out;
+      }
+    }
+  });
+  return y;
+}
+
+Tensor FusedStage::BackwardBatch(const Tensor& grad_out,
+                                 const PerExampleGradSink& sink) {
+  if (!prepared_) {
+    DPBR_LOG_STREAM(Fatal)
+        << "cached-state contract violated — fused backward with no fused "
+           "forward prepared (fusion toggled between passes?)";
+  }
+  DPBR_CHECK(grad_out.shape() == out_shape_);
+
+  // Serial prepare sweep in reverse layer order: each layer re-asserts
+  // its batched state and re-stashes its cache pointers.
+  for (size_t g = groups_.size(); g-- > 0;) {
+    const Group& grp = groups_[g];
+    for (size_t e = grp.epilogues.size(); e-- > 0;) {
+      grp.epilogues[e].layer->FuseBackwardPrepare();
+    }
+    grp.anchor.layer->FuseBackwardPrepare();
+  }
+
+  Tensor dx(in_shape_);
+  const float* gyd = grad_out.data();
+  float* dxd = dx.data();
+  size_t max_panel = 0;
+  for (size_t s : group_out_size_) {
+    if (s > max_panel) max_panel = s;
+  }
+  size_t ngroups = groups_.size();
+  // ONE dispatch over examples. Per example, groups run in reverse: the
+  // group's epilogues transform the gradient in place on a panel copy
+  // (streaming their per-example parameter gradients into their own sink
+  // columns), then the anchor consumes it — the unfused batched paths'
+  // exact per-example kernel sequence, so the result is bitwise equal.
+  ParallelForBlocked(batch_, 1, [&](size_t e0, size_t e1) {
+    float* pa = ThreadPanel(kPanelSlotFusedBwdA, max_panel);
+    float* pb = ThreadPanel(kPanelSlotFusedBwdB, max_panel);
+    for (size_t ex = e0; ex < e1; ++ex) {
+      const float* curg = gyd + ex * out_stride_;
+      const float* cur_buf = nullptr;  // which panel curg lives in, if any
+      for (size_t g = ngroups; g-- > 0;) {
+        const Group& grp = groups_[g];
+        const float* src = curg;
+        const float* src_buf = cur_buf;
+        if (!grp.epilogues.empty()) {
+          float* tgt = (cur_buf == pa) ? pb : pa;
+          std::memcpy(tgt, curg, group_out_size_[g] * sizeof(float));
+          for (size_t e = grp.epilogues.size(); e-- > 0;) {
+            const Item& ep = grp.epilogues[e];
+            ep.layer->FuseBackwardEpilogue(ex, tgt, sink.Shifted(ep.offset));
+          }
+          src = tgt;
+          src_buf = tgt;
+        }
+        float* gx = (g == 0) ? dxd + ex * in_stride_
+                             : ((src_buf == pa) ? pb : pa);
+        grp.anchor.layer->FuseBackwardAnchor(ex, src, gx,
+                                             sink.Shifted(grp.anchor.offset));
+        curg = gx;
+        cur_buf = (g == 0) ? nullptr : gx;
+      }
+    }
+  });
+  return dx;
+}
+
+namespace {
+
+// Flattens `seq` (recursing through nested Sequential containers, which
+// only add structure, never computation) into (layer, absolute flat-
+// parameter offset) items.
+void FlattenInto(Sequential* seq, size_t base_offset,
+                 std::vector<FusedStage::Item>* items) {
+  for (size_t i = 0; i < seq->num_layers(); ++i) {
+    Layer* l = seq->layer(i);
+    size_t off = base_offset + seq->param_offset(i);
+    if (Sequential* sub = l->AsSequential()) {
+      FlattenInto(sub, off, items);
+    } else {
+      items->push_back({l, off});
+    }
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<FusionPlan> FusionPlan::Build(Sequential* root) {
+  DPBR_CHECK(root != nullptr);
+  std::vector<FusedStage::Item> items;
+  FlattenInto(root, 0, &items);
+
+  auto plan = std::unique_ptr<FusionPlan>(new FusionPlan());
+  size_t i = 0;
+  while (i < items.size()) {
+    if (!items[i].layer->fusion_info().anchor) {
+      // Barrier (or orphan epilogue with nothing to attach to): plain
+      // unfused step.
+      Step s;
+      s.layer = items[i].layer;
+      s.offset = items[i].offset;
+      plan->steps_.push_back(std::move(s));
+      ++i;
+      continue;
+    }
+    // Greedy: each anchor starts a group and absorbs the following
+    // epilogue-capable layers; consecutive groups merge into one stage.
+    std::vector<FusedStage::Group> groups;
+    size_t j = i;
+    while (j < items.size() && items[j].layer->fusion_info().anchor) {
+      FusedStage::Group g;
+      g.anchor = items[j];
+      ++j;
+      while (j < items.size() && !items[j].layer->fusion_info().anchor &&
+             items[j].layer->fusion_info().epilogue) {
+        g.epilogues.push_back(items[j]);
+        ++j;
+      }
+      groups.push_back(std::move(g));
+    }
+    if (j - i >= 2) {
+      Step s;
+      s.stage = std::make_unique<FusedStage>(std::move(groups));
+      plan->steps_.push_back(std::move(s));
+      ++plan->num_fused_stages_;
+    } else {
+      // A bare single anchor gains nothing over its own batched path.
+      Step s;
+      s.layer = items[i].layer;
+      s.offset = items[i].offset;
+      plan->steps_.push_back(std::move(s));
+    }
+    i = j;
+  }
+  return plan;
+}
+
+Tensor FusionPlan::ForwardBatch(const Tensor& x) {
+  Tensor h = x;
+  for (Step& s : steps_) {
+    h = s.stage ? s.stage->ForwardBatch(h) : s.layer->ForwardBatch(h);
+  }
+  return h;
+}
+
+Tensor FusionPlan::BackwardBatch(const Tensor& grad_out,
+                                 const PerExampleGradSink& sink) {
+  Tensor g = grad_out;
+  for (size_t i = steps_.size(); i-- > 0;) {
+    Step& s = steps_[i];
+    g = s.stage ? s.stage->BackwardBatch(g, sink)
+                : s.layer->BackwardBatch(g, sink.Shifted(s.offset));
+  }
+  return g;
+}
+
+}  // namespace nn
+}  // namespace dpbr

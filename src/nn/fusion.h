@@ -1,0 +1,140 @@
+// Cross-layer stage fusion: folds runs of fusable layers into single
+// dispatch FusedStage nodes so a whole CNN local step runs in a handful
+// of pool barriers per microbatch instead of one per layer.
+//
+// A fused *group* is one anchor layer (Conv2d, Linear — the layer that
+// owns the group's GEMM) followed by zero or more epilogue layers (ELU,
+// ReLU, GroupNorm — per-example post-ops applied to the anchor's output
+// block while it is still cache-hot in the producing thread). A fused
+// *stage* is a maximal run of consecutive groups executed as ONE
+// ParallelFor dispatch: each example's task walks its groups in order,
+// streaming intermediate activations through per-thread ping-pong panels
+// (ThreadPanel slots kPanelSlotFusedFwd*/Bwd*) that never leave the
+// thread. Layers that advertise neither role (pooling, flatten,
+// residual, the naive conv kernel) are barriers and run as plain
+// unfused steps.
+//
+// Determinism: the fused hooks run the unfused batched paths' exact
+// per-example kernel sequences, fill the same workspace caches and
+// record the same BatchState, so fused == unfused == per-example
+// bitwise on every input, under any pool size, across SIMD tiers — the
+// contract tests/nn/kernel_equivalence_test.cc pins. Fused and unfused
+// passes are interchangeable mid-model (a fused forward can feed an
+// unfused backward) because the caches are identical.
+//
+// The plan is an execution overlay over Sequential: it never
+// restructures `layers_` (parameter offsets, InitParams streams and the
+// flat-vector bridge are untouched), it only changes how ForwardBatch /
+// BackwardBatch traverse them. Nested Sequential containers are
+// flattened into the parent plan so fusion crosses block boundaries.
+
+#ifndef DPBR_NN_FUSION_H_
+#define DPBR_NN_FUSION_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace dpbr {
+namespace nn {
+
+/// A maximal run of fused groups executed as one dispatch per direction.
+class FusedStage {
+ public:
+  /// One planned layer: the layer plus its flat-parameter offset from
+  /// the plan root (PerExampleGradSink rows are addressed through it).
+  struct Item {
+    Layer* layer = nullptr;
+    size_t offset = 0;
+  };
+
+  /// One anchor plus its trailing epilogue layers.
+  struct Group {
+    Item anchor;
+    std::vector<Item> epilogues;
+  };
+
+  explicit FusedStage(std::vector<Group> groups);
+
+  /// Whole-stage batched forward: serial per-layer prepare hooks (the
+  /// only place workspace may grow), then one dispatch over examples.
+  Tensor ForwardBatch(const Tensor& x);
+
+  /// Whole-stage batched backward; requires this stage's ForwardBatch to
+  /// have prepared the geometry (a fused backward after an unfused
+  /// forward is a contract violation, exactly like a stale BatchState).
+  Tensor BackwardBatch(const Tensor& grad_out, const PerExampleGradSink& sink);
+
+  size_t num_groups() const { return groups_.size(); }
+  size_t num_layers() const;
+
+ private:
+  // Stable bound callable an EpilogueOp (FunctionRef) can point at for
+  // the lifetime of the stage.
+  struct EpilogueCall {
+    Layer* layer = nullptr;
+    void operator()(size_t ex, float* block) const {
+      layer->FuseForwardEpilogue(ex, block);
+    }
+  };
+
+  EpilogueChain chain(size_t group) const {
+    return {fwd_ops_.data() + chain_start_[group], chain_count_[group]};
+  }
+
+  std::vector<Group> groups_;
+  // Forward epilogue chains: one contiguous op array, per-group slices.
+  // calls_ owns the bound callables; fwd_ops_ borrows them (FunctionRef),
+  // so neither vector may be touched after construction.
+  std::vector<EpilogueCall> calls_;
+  std::vector<EpilogueOp> fwd_ops_;
+  std::vector<size_t> chain_start_;
+  std::vector<size_t> chain_count_;
+
+  // Geometry recorded by the last ForwardBatch (serial prepare phase),
+  // consumed by BackwardBatch.
+  bool prepared_ = false;
+  size_t batch_ = 0;
+  size_t in_stride_ = 0;   // per-example input floats
+  size_t out_stride_ = 0;  // per-example output floats
+  std::vector<size_t> group_out_size_;  // per-example, per group
+  std::vector<size_t> in_shape_;        // full (batch-leading) shapes
+  std::vector<size_t> out_shape_;
+};
+
+/// Execution plan for one Sequential: an ordered list of steps, each
+/// either a plain (unfused) layer or a FusedStage.
+class FusionPlan {
+ public:
+  /// Builds the plan for `root`: flattens nested Sequential containers,
+  /// then greedily folds anchor[+epilogue...] runs into stages. A run
+  /// must cover at least two layers to become a stage (a bare anchor
+  /// alone gains nothing over its own batched path).
+  static std::unique_ptr<FusionPlan> Build(Sequential* root);
+
+  /// True when at least one step is a fused stage (otherwise the plan is
+  /// equivalent to the plain per-layer loop and callers skip it).
+  bool has_fused_stage() const { return num_fused_stages_ > 0; }
+  size_t num_fused_stages() const { return num_fused_stages_; }
+  size_t num_steps() const { return steps_.size(); }
+
+  Tensor ForwardBatch(const Tensor& x);
+  Tensor BackwardBatch(const Tensor& grad_out, const PerExampleGradSink& sink);
+
+ private:
+  struct Step {
+    // Exactly one of the two is set.
+    Layer* layer = nullptr;  // plain step
+    size_t offset = 0;       // plain step's flat-parameter offset
+    std::unique_ptr<FusedStage> stage;
+  };
+
+  std::vector<Step> steps_;
+  size_t num_fused_stages_ = 0;
+};
+
+}  // namespace nn
+}  // namespace dpbr
+
+#endif  // DPBR_NN_FUSION_H_

@@ -102,6 +102,20 @@ void GemmNTRows(size_t i0, size_t i1, size_t k, size_t n, const float* a,
 
 }  // namespace
 
+float* ThreadPanel(size_t slot, size_t n) {
+  // One grow-only arena per thread (tasks run inline or on distinct pool
+  // workers, so slots are never shared across concurrent tasks). Growth
+  // happens only until the high-water mark of each slot is reached;
+  // steady-state calls are a lookup. The allocation lives here, outside
+  // any dispatch body's text, which is the structure the hot-path lint
+  // enforces: call sites inside ParallelFor bodies perform none.
+  static thread_local std::deque<std::vector<float>> panels;
+  while (panels.size() <= slot) panels.emplace_back();
+  std::vector<float>& p = panels[slot];
+  if (p.size() < n) p.resize(n);
+  return p.data();
+}
+
 float* Workspace::Get(size_t slot, size_t n) {
   while (buffers_.size() <= slot) buffers_.emplace_back();
   std::vector<float>& buf = buffers_[slot];
@@ -142,10 +156,16 @@ void GemmNNSerialRow(size_t k, size_t n, const float* a, const float* b,
   }
 }
 
-void GemmBatchedNN(
-    size_t m, size_t k, size_t n, size_t batch, const float* a, float* c,
-    const float* row_init,
-    const std::function<void(size_t, float*)>& fill_panel) {
+void GemmNTSerialRow(size_t k, size_t n, const float* a, const float* b,
+                     float* c) {
+  if (n == 0) return;
+  GemmNTRows(0, 1, k, n, a, b, c, /*accumulate=*/false);
+}
+
+void GemmBatchedNN(size_t m, size_t k, size_t n, size_t batch,
+                   const float* a, float* c, const float* row_init,
+                   FunctionRef<void(size_t ex, float* panel)> fill_panel,
+                   EpilogueChain epilogue) {
   if (m == 0 || n == 0 || batch == 0) return;
   ParallelForBlocked(batch, 1, [&](size_t e0, size_t e1) {
     // One panel per worker thread (tasks run inline or on distinct pool
@@ -153,19 +173,20 @@ void GemmBatchedNN(
     // serial case keeps a single cache-hot panel exactly like the
     // per-example path. Panel contents never outlive the example's
     // tiles, so this sharing cannot change any output bit.
-    static thread_local std::vector<float> panel;
-    // dpbr-lint: allow(hotpath-alloc) -- grow-only thread-local panel
-    if (panel.size() < k * n) panel.resize(k * n);
+    float* panel = ThreadPanel(kPanelSlotNNFill, k * n);
     for (size_t ex = e0; ex < e1; ++ex) {
-      fill_panel(ex, panel.data());
+      fill_panel(ex, panel);
       float* cx = c + ex * m * n;
       for (size_t i0 = 0; i0 < m; i0 += kRowBlock) {
         for (size_t j0 = 0; j0 < n; j0 += kColTileNN) {
           GemmNNTile(i0, std::min(m, i0 + kRowBlock), j0,
-                     std::min(n, j0 + kColTileNN), k, n, a, panel.data(),
-                     cx, row_init);
+                     std::min(n, j0 + kColTileNN), k, n, a, panel, cx,
+                     row_init);
         }
       }
+      // Post-op chain on the example's output block while its tiles are
+      // still cache-hot: the whole fused group stays inside this task.
+      epilogue.Apply(ex, cx);
     }
   });
 }
@@ -180,25 +201,23 @@ void GemmTN(size_t m, size_t k, size_t n, const float* a, const float* b,
 
 void GemmBatchedNT(
     size_t m, size_t k, size_t n, size_t batch, const float* a,
-    size_t a_stride, const std::function<void(size_t, float*)>& fill_b,
-    const std::function<float*(size_t)>& c_of, bool accumulate,
-    const std::function<void(size_t, const float*)>& epilogue) {
+    size_t a_stride, FunctionRef<void(size_t ex, float* panel)> fill_b,
+    FunctionRef<float*(size_t ex)> c_of, bool accumulate,
+    FunctionRef<void(size_t ex, const float* panel)> epilogue) {
   if (m == 0 || n == 0 || batch == 0) return;
   ParallelForBlocked(batch, 1, [&](size_t e0, size_t e1) {
     // One B panel per worker thread, grow-only across examples and
-    // dispatches (see GemmBatchedNN). Distinct from the TN panel below,
-    // so an epilogue that runs a batch-1 GemmBatchedTN (Conv2d's dX)
-    // cannot clobber the panel it was handed.
-    static thread_local std::vector<float> panel;
-    // dpbr-lint: allow(hotpath-alloc) -- grow-only thread-local panel
-    if (panel.size() < n * k) panel.resize(n * k);
+    // dispatches (see GemmBatchedNN). Distinct from the TN panel, so an
+    // epilogue that runs a batch-1 GemmBatchedTN (Conv2d's dX) cannot
+    // clobber the panel it was handed.
+    float* panel = ThreadPanel(kPanelSlotNTFill, n * k);
     for (size_t ex = e0; ex < e1; ++ex) {
-      fill_b(ex, panel.data());
+      fill_b(ex, panel);
       // All m rows serially: identical per-element dot8_f32 values to
       // the per-example GemmNT dispatch, which only splits these rows.
-      GemmNTRows(0, m, k, n, a + ex * a_stride, panel.data(), c_of(ex),
+      GemmNTRows(0, m, k, n, a + ex * a_stride, panel, c_of(ex),
                  accumulate);
-      if (epilogue != nullptr) epilogue(ex, panel.data());
+      if (epilogue) epilogue(ex, panel);
     }
   });
 }
@@ -206,15 +225,13 @@ void GemmBatchedNT(
 void GemmBatchedTN(
     size_t m, size_t k, size_t n, size_t batch, const float* a,
     const float* b, size_t b_stride,
-    const std::function<void(size_t, const float*)>& consume) {
+    FunctionRef<void(size_t ex, const float* panel)> consume) {
   if (m == 0 || n == 0 || batch == 0) return;
   ParallelForBlocked(batch, 1, [&](size_t e0, size_t e1) {
-    static thread_local std::vector<float> panel;
-    // dpbr-lint: allow(hotpath-alloc) -- grow-only thread-local panel
-    if (panel.size() < m * n) panel.resize(m * n);
+    float* panel = ThreadPanel(kPanelSlotTNOut, m * n);
     for (size_t ex = e0; ex < e1; ++ex) {
-      GemmTNRows(0, m, m, k, n, a, b + ex * b_stride, panel.data());
-      consume(ex, panel.data());
+      GemmTNRows(0, m, m, k, n, a, b + ex * b_stride, panel);
+      consume(ex, panel);
     }
   });
 }

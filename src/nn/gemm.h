@@ -8,6 +8,11 @@
 // same kernel under pool sizes 1, 2 and N therefore yields bit-identical
 // results (the contract tests/nn/kernel_equivalence_test.cc enforces).
 //
+// Hooks are FunctionRef, not std::function: the batched kernels invoke
+// them synchronously inside dispatch bodies, so the call sites construct
+// a two-word borrow instead of a possibly-allocating wrapper (the
+// hot-path lint bans allocation inside ParallelFor bodies).
+//
 // Layers call these kernels through a Workspace they own, so hot-loop
 // invocations reuse grow-only scratch buffers instead of allocating.
 
@@ -16,8 +21,9 @@
 
 #include <cstddef>
 #include <deque>
-#include <functional>
 #include <vector>
+
+#include "common/function_ref.h"
 
 namespace dpbr {
 namespace nn {
@@ -44,6 +50,55 @@ class Workspace {
   std::deque<std::vector<double>> dbuffers_;
 };
 
+// --- Per-thread panel arena -----------------------------------------
+//
+// The batched kernels and the fused-stage drivers stream transient
+// per-example panels through per-thread grow-only scratch: one buffer
+// per (thread, slot), reused across examples and dispatches, never
+// shrunk. Panel contents never outlive the example that filled them, so
+// the sharing cannot change any output bit. The slot map keeps nested
+// callers disjoint — a fused driver panel is never the panel a nested
+// batch-1 batched kernel fills inside it.
+
+/// Slots used internally by GemmBatchedNN / GemmBatchedNT /
+/// GemmBatchedTN for their streamed operand panels.
+constexpr size_t kPanelSlotNNFill = 0;
+constexpr size_t kPanelSlotNTFill = 1;
+constexpr size_t kPanelSlotTNOut = 2;
+/// Ping-pong activation panels of the fused forward driver
+/// (nn::FusedStage), and gradient panels of the fused backward driver.
+constexpr size_t kPanelSlotFusedFwdA = 3;
+constexpr size_t kPanelSlotFusedFwdB = 4;
+constexpr size_t kPanelSlotFusedBwdA = 5;
+constexpr size_t kPanelSlotFusedBwdB = 6;
+
+/// Returns the calling thread's panel `slot` grown to at least `n`
+/// floats. Grow-only and thread-local: after warm-up no call allocates,
+/// which is what lets dispatch bodies use it freely.
+float* ThreadPanel(size_t slot, size_t n);
+
+// --- Epilogue chain -------------------------------------------------
+
+/// One post-op applied to a per-thread output panel while cache-hot:
+/// op(ex, block) transforms example `ex`'s m×n output block in place.
+/// Non-owning (FunctionRef) — callables live in the caller's frame or in
+/// a stable side array for the duration of the kernel call.
+using EpilogueOp = FunctionRef<void(size_t ex, float* block)>;
+
+/// Ordered list of post-ops a batched GEMM applies to each example's
+/// output block inside that example's task, immediately after its tiles
+/// are computed — bias, activation, normalization — so a whole fused
+/// layer group costs one dispatch. A default-constructed chain is empty
+/// (the plain GEMM).
+struct EpilogueChain {
+  const EpilogueOp* ops = nullptr;
+  size_t count = 0;
+
+  void Apply(size_t ex, float* block) const {
+    for (size_t i = 0; i < count; ++i) ops[i](ex, block);
+  }
+};
+
 /// C (m×n) = A (m×k) · B (k×n), all row-major. When `row_init` is
 /// non-null, row i of C starts from the scalar row_init[i] (broadcast
 /// across the row) instead of zero — Conv2d uses this to fold the bias
@@ -63,6 +118,13 @@ void GemmNN(size_t m, size_t k, size_t n, const float* a, const float* b,
 void GemmNNSerialRow(size_t k, size_t n, const float* a, const float* b,
                      float* c, const float* row_init = nullptr);
 
+/// Serial single-row NT GEMM: c (1×n) = a (1×k) · Bᵀ for row-major B
+/// (n×k). Per-element values are the same dot8_f32 folds as GemmNT's row
+/// — the fused forward primitive for one Linear output row computed
+/// inside another dispatch's task.
+void GemmNTSerialRow(size_t k, size_t n, const float* a, const float* b,
+                     float* c);
+
 /// Batched NN GEMM sharing one left operand: for each ex in [0, batch),
 /// C_ex (m×n) = A (m×k) · B_ex (k×n) with C_ex = c + ex·m·n. Bitwise
 /// identical to calling GemmNN per example — same per-element
@@ -76,10 +138,16 @@ void GemmNNSerialRow(size_t k, size_t n, const float* a, const float* b,
 /// transient, so sharing it per thread cannot affect results). This is
 /// the fused batch-conv forward kernel: fill_panel is Im2Col and C the
 /// (N, OC, OH·OW) output tensor written in place.
-void GemmBatchedNN(
-    size_t m, size_t k, size_t n, size_t batch, const float* a, float* c,
-    const float* row_init,
-    const std::function<void(size_t, float*)>& fill_panel);
+///
+/// `epilogue` is applied to C_ex inside example ex's task right after
+/// its tiles — the block is still cache-hot, so a conv→activation→norm
+/// group runs start to finish without the intermediates ever leaving the
+/// thread (bias is already folded via row_init). Ops see the real
+/// example index.
+void GemmBatchedNN(size_t m, size_t k, size_t n, size_t batch,
+                   const float* a, float* c, const float* row_init,
+                   FunctionRef<void(size_t ex, float* panel)> fill_panel,
+                   EpilogueChain epilogue = {});
 
 /// C (m×n) = Aᵀ · B for row-major A (k×m), B (k×n). Same fixed
 /// ascending-p accumulation order as GemmNN.
@@ -120,9 +188,9 @@ void GemmTN(size_t m, size_t k, size_t n, const float* a, const float* b,
 /// what makes a whole layer backward a single dispatch.
 void GemmBatchedNT(
     size_t m, size_t k, size_t n, size_t batch, const float* a,
-    size_t a_stride, const std::function<void(size_t, float*)>& fill_b,
-    const std::function<float*(size_t)>& c_of, bool accumulate = false,
-    const std::function<void(size_t, const float*)>& epilogue = nullptr);
+    size_t a_stride, FunctionRef<void(size_t ex, float* panel)> fill_b,
+    FunctionRef<float*(size_t ex)> c_of, bool accumulate = false,
+    FunctionRef<void(size_t ex, const float* panel)> epilogue = {});
 
 /// Batched TN GEMM with consumed output panels: for each ex in [0,batch),
 ///   P_ex (m×n) = Aᵀ · B_ex
@@ -132,10 +200,9 @@ void GemmBatchedNT(
 /// column-space gradient panel with Col2ImAccumulate to scatter it onto
 /// the example's dX slice, so the materialized K×Q matrix never leaves
 /// the thread that produced it.
-void GemmBatchedTN(
-    size_t m, size_t k, size_t n, size_t batch, const float* a,
-    const float* b, size_t b_stride,
-    const std::function<void(size_t, const float*)>& consume);
+void GemmBatchedTN(size_t m, size_t k, size_t n, size_t batch,
+                   const float* a, const float* b, size_t b_stride,
+                   FunctionRef<void(size_t ex, const float* panel)> consume);
 
 /// C (m×n) = (or +=) A (m×k) · Bᵀ for row-major B (n×k). Each element is
 /// a dot product of two unit-stride rows, accumulated in eight fixed

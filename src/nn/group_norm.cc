@@ -121,12 +121,9 @@ Tensor GroupNorm::Forward(const Tensor& x) {
 }
 
 Tensor GroupNorm::Backward(const Tensor& grad_out) {
-  const std::vector<size_t>& in = state_.RequirePerExample("GroupNorm");
+  const std::vector<size_t>& in = RequirePerExampleState();
   size_t h = in[1], w = in[2];
-  DPBR_CHECK_EQ(grad_out.ndim(), 3u);
-  DPBR_CHECK_EQ(grad_out.dim(0), channels_);
-  DPBR_CHECK_EQ(grad_out.dim(1), h);
-  DPBR_CHECK_EQ(grad_out.dim(2), w);
+  RequireGradShape(grad_out, {channels_, h, w});
   const float* xhat = ws_.Get(kXhatSlot, channels_ * h * w);
   const double* inv_std = ws_.GetDouble(kInvStdSlot, groups_);
   Tensor dx({channels_, h, w});
@@ -137,9 +134,7 @@ Tensor GroupNorm::Backward(const Tensor& grad_out) {
 }
 
 Tensor GroupNorm::ForwardBatch(const Tensor& x) {
-  DPBR_CHECK_EQ(x.ndim(), 4u);
-  size_t batch = x.dim(0);
-  DPBR_CHECK_GT(batch, 0u);
+  size_t batch = RequireBatchedInput(x, 4);
   DPBR_CHECK_EQ(x.dim(1), channels_);
   size_t h = x.dim(2), w = x.dim(3);
   float* xhat = ws_.Get(kXhatSlot, x.size());
@@ -166,13 +161,9 @@ Tensor GroupNorm::ForwardBatch(const Tensor& x) {
 
 Tensor GroupNorm::BackwardBatch(const Tensor& grad_out,
                                 const PerExampleGradSink& sink) {
-  const std::vector<size_t>& in = state_.RequireBatched("GroupNorm");
+  const std::vector<size_t>& in = RequireBatchedState();
   size_t batch = in[0], h = in[2], w = in[3];
-  DPBR_CHECK_EQ(grad_out.ndim(), 4u);
-  DPBR_CHECK_EQ(grad_out.dim(0), batch);
-  DPBR_CHECK_EQ(grad_out.dim(1), channels_);
-  DPBR_CHECK_EQ(grad_out.dim(2), h);
-  DPBR_CHECK_EQ(grad_out.dim(3), w);
+  RequireGradShape(grad_out, {batch, channels_, h, w});
   size_t stride = channels_ * h * w;
   const float* xhat = ws_.Get(kXhatSlot, batch * stride);
   const double* inv_std = ws_.GetDouble(kInvStdSlot, batch * groups_);
@@ -196,6 +187,52 @@ Tensor GroupNorm::BackwardBatch(const Tensor& grad_out,
     }
   });
   return dx;
+}
+
+std::vector<size_t> GroupNorm::FuseForwardPrepare(
+    size_t batch, const std::vector<size_t>& in_shape) {
+  DPBR_CHECK_EQ(in_shape.size(), 3u);
+  DPBR_CHECK_EQ(in_shape[0], channels_);
+  size_t h = in_shape[1], w = in_shape[2];
+  fused_spatial_ = h * w;
+  fused_stride_ = channels_ * fused_spatial_;
+  fused_xhat_ = ws_.Get(kXhatSlot, batch * fused_stride_);
+  fused_inv_std_ = ws_.GetDouble(kInvStdSlot, batch * groups_);
+  state_.SetBatchedFused({batch, channels_, h, w});
+  return in_shape;
+}
+
+void GroupNorm::FuseForwardEpilogue(size_t ex, float* block) {
+  // In place (y == x): ForwardOne reads each element before writing its
+  // slot (stats sweeps read only; the normalize sweep loads before it
+  // stores), so this is bitwise equal to the out-of-place unfused call.
+  ForwardOne(block, fused_spatial_, fused_xhat_ + ex * fused_stride_, block,
+             fused_inv_std_ + ex * groups_);
+}
+
+void GroupNorm::FuseBackwardPrepare() {
+  const std::vector<size_t>& in = RequireBatchedState();
+  size_t batch = in[0];
+  fused_spatial_ = in[2] * in[3];
+  fused_stride_ = channels_ * fused_spatial_;
+  fused_xhat_ = ws_.Get(kXhatSlot, batch * fused_stride_);
+  fused_inv_std_ = ws_.GetDouble(kInvStdSlot, batch * groups_);
+}
+
+void GroupNorm::FuseBackwardEpilogue(size_t ex, float* block,
+                                     const PerExampleGradSink& sink) {
+  float* ggrad = nullptr;
+  float* bgrad = nullptr;
+  if (affine_) {
+    ggrad = sink.Slot(ex);
+    bgrad = ggrad + gamma_.size();
+  }
+  // In place (dx == dy): the affine and per-group reduction sweeps read
+  // dy before the dx sweep overwrites it, group by group, and each
+  // group's dx sweep touches only that group's slice.
+  BackwardOne(block, fused_xhat_ + ex * fused_stride_,
+              fused_inv_std_ + ex * groups_, fused_spatial_, block, ggrad,
+              bgrad);
 }
 
 std::vector<ParamView> GroupNorm::Params() {

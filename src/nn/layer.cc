@@ -7,11 +7,19 @@ namespace nn {
 
 void BatchState::SetPerExample(const std::vector<size_t>& shape) {
   path_ = Path::kPerExample;
+  fused_ = false;
   shape_ = shape;
 }
 
 void BatchState::SetBatched(const std::vector<size_t>& shape) {
   path_ = Path::kBatched;
+  fused_ = false;
+  shape_ = shape;
+}
+
+void BatchState::SetBatchedFused(const std::vector<size_t>& shape) {
+  path_ = Path::kBatched;
+  fused_ = true;
   shape_ = shape;
 }
 
@@ -49,6 +57,71 @@ Tensor Layer::BackwardBatch(const Tensor& /*grad_out*/,
                             const PerExampleGradSink& /*sink*/) {
   DPBR_LOG_STREAM(Fatal) << name() << " does not implement BackwardBatch";
   return Tensor();
+}
+
+std::vector<size_t> Layer::FuseForwardPrepare(
+    size_t /*batch*/, const std::vector<size_t>& /*in_shape*/) {
+  DPBR_LOG_STREAM(Fatal) << name() << " does not implement FuseForwardPrepare";
+  return {};
+}
+
+void Layer::FuseForwardAnchor(size_t /*ex*/, const float* /*x*/, float* /*y*/,
+                              EpilogueChain /*chain*/) {
+  DPBR_LOG_STREAM(Fatal) << name() << " does not implement FuseForwardAnchor";
+}
+
+bool Layer::FuseForwardWholeBatch(size_t /*batch*/, const float* /*x*/,
+                                  float* /*y*/, EpilogueChain /*chain*/) {
+  return false;
+}
+
+void Layer::FuseForwardEpilogue(size_t /*ex*/, float* /*block*/) {
+  DPBR_LOG_STREAM(Fatal) << name()
+                         << " does not implement FuseForwardEpilogue";
+}
+
+void Layer::FuseBackwardPrepare() {
+  DPBR_LOG_STREAM(Fatal) << name() << " does not implement FuseBackwardPrepare";
+}
+
+void Layer::FuseBackwardEpilogue(size_t /*ex*/, float* /*block*/,
+                                 const PerExampleGradSink& /*sink*/) {
+  DPBR_LOG_STREAM(Fatal) << name()
+                         << " does not implement FuseBackwardEpilogue";
+}
+
+void Layer::FuseBackwardAnchor(size_t /*ex*/, const float* /*gy*/,
+                               float* /*gx*/,
+                               const PerExampleGradSink& /*sink*/) {
+  DPBR_LOG_STREAM(Fatal) << name() << " does not implement FuseBackwardAnchor";
+}
+
+size_t Layer::RequireBatchedInput(const Tensor& x, size_t rank,
+                                  bool at_least_rank) const {
+  if (at_least_rank) {
+    DPBR_CHECK_GE(x.ndim(), rank);
+  } else {
+    DPBR_CHECK_EQ(x.ndim(), rank);
+  }
+  size_t batch = x.dim(0);
+  DPBR_CHECK_GT(batch, 0u);
+  return batch;
+}
+
+const std::vector<size_t>& Layer::RequireBatchedState() const {
+  return state_.RequireBatched(name().c_str());
+}
+
+const std::vector<size_t>& Layer::RequirePerExampleState() const {
+  return state_.RequirePerExample(name().c_str());
+}
+
+void Layer::RequireGradShape(const Tensor& grad_out,
+                             const std::vector<size_t>& expected) const {
+  DPBR_CHECK_EQ(grad_out.ndim(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    DPBR_CHECK_EQ(grad_out.dim(i), expected[i]);
+  }
 }
 
 void Layer::ZeroGrad() {

@@ -40,7 +40,7 @@ Tensor Linear::Forward(const Tensor& x) {
 
 Tensor Linear::Backward(const Tensor& grad_out) {
   DPBR_CHECK_EQ(grad_out.size(), out_);
-  state_.RequirePerExample("Linear");
+  RequirePerExampleState();
   const float* x = ws_.Get(kInputSlot, in_);
   // dW += dy ⊗ x, db += dy, dx = dy · W.
   ops::Ger(1.0f, grad_out.data(), x, weight_grad_.data(), out_, in_);
@@ -51,9 +51,7 @@ Tensor Linear::Backward(const Tensor& grad_out) {
 }
 
 Tensor Linear::ForwardBatch(const Tensor& x) {
-  DPBR_CHECK_EQ(x.ndim(), 2u);
-  size_t batch = x.dim(0);
-  DPBR_CHECK_GT(batch, 0u);
+  size_t batch = RequireBatchedInput(x, 2);
   DPBR_CHECK_EQ(x.dim(1), in_);
   float* cached = ws_.Get(kInputSlot, batch * in_);
   std::memcpy(cached, x.data(), batch * in_ * sizeof(float));
@@ -70,11 +68,9 @@ Tensor Linear::ForwardBatch(const Tensor& x) {
 
 Tensor Linear::BackwardBatch(const Tensor& grad_out,
                              const PerExampleGradSink& sink) {
-  const std::vector<size_t>& in = state_.RequireBatched("Linear");
+  const std::vector<size_t>& in = RequireBatchedState();
   size_t batch = in[0];
-  DPBR_CHECK_EQ(grad_out.ndim(), 2u);
-  DPBR_CHECK_EQ(grad_out.dim(0), batch);
-  DPBR_CHECK_EQ(grad_out.dim(1), out_);
+  RequireGradShape(grad_out, {batch, out_});
   const float* x = ws_.Get(kInputSlot, batch * in_);
   Tensor dx({batch, in_});
   const float* gy = grad_out.data();
@@ -100,6 +96,41 @@ Tensor Linear::BackwardBatch(const Tensor& grad_out,
     }
   });
   return dx;
+}
+
+std::vector<size_t> Linear::FuseForwardPrepare(
+    size_t batch, const std::vector<size_t>& in_shape) {
+  DPBR_CHECK_EQ(in_shape.size(), 1u);
+  DPBR_CHECK_EQ(in_shape[0], in_);
+  fused_in_cache_ = ws_.Get(kInputSlot, batch * in_);
+  state_.SetBatchedFused({batch, in_});
+  return {out_};
+}
+
+void Linear::FuseForwardAnchor(size_t ex, const float* x, float* y,
+                               EpilogueChain chain) {
+  // Cache the input row, then one serial NT row — per-element dot8_f32
+  // values identical to the unfused whole-batch GemmNT's row ex — plus
+  // the bias, then the group's post-ops while the row is hot.
+  float* cached = fused_in_cache_ + ex * in_;
+  std::memcpy(cached, x, in_ * sizeof(float));
+  GemmNTSerialRow(in_, out_, cached, weight_.data(), y);
+  for (size_t r = 0; r < out_; ++r) y[r] += bias_[r];
+  chain.Apply(ex, y);
+}
+
+void Linear::FuseBackwardPrepare() {
+  const std::vector<size_t>& in = RequireBatchedState();
+  fused_in_cache_ = ws_.Get(kInputSlot, in[0] * in_);
+}
+
+void Linear::FuseBackwardAnchor(size_t ex, const float* gy, float* gx,
+                                const PerExampleGradSink& sink) {
+  // The unfused batched backward's per-example task body, verbatim.
+  float* wgrad = sink.Slot(ex);
+  ops::Ger(1.0f, gy, fused_in_cache_ + ex * in_, wgrad, out_, in_);
+  ops::Axpy(1.0f, gy, wgrad + weight_.size(), out_);
+  GemmNNSerialRow(out_, in_, gy, weight_.data(), gx);
 }
 
 std::vector<ParamView> Linear::Params() {

@@ -93,21 +93,17 @@ Tensor AdaptiveAvgPool2d::Forward(const Tensor& x) {
 }
 
 Tensor AdaptiveAvgPool2d::Backward(const Tensor& grad_out) {
-  const std::vector<size_t>& in = state_.RequirePerExample("AdaptiveAvgPool2d");
+  const std::vector<size_t>& in = RequirePerExampleState();
   size_t c = in[0], h = in[1], w = in[2];
-  DPBR_CHECK_EQ(grad_out.ndim(), 3u);
-  DPBR_CHECK_EQ(grad_out.dim(0), c);
-  DPBR_CHECK_EQ(grad_out.dim(1), out_h_);
-  DPBR_CHECK_EQ(grad_out.dim(2), out_w_);
+  RequireGradShape(grad_out, {c, out_h_, out_w_});
   Tensor dx({c, h, w});
   BackwardOne(grad_out.data(), c, h, w, dx.data());
   return dx;
 }
 
 Tensor AdaptiveAvgPool2d::ForwardBatch(const Tensor& x) {
-  DPBR_CHECK_EQ(x.ndim(), 4u);
-  size_t batch = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
-  DPBR_CHECK_GT(batch, 0u);
+  size_t batch = RequireBatchedInput(x, 4);
+  size_t c = x.dim(1), h = x.dim(2), w = x.dim(3);
   DPBR_CHECK_GE(h, out_h_);
   DPBR_CHECK_GE(w, out_w_);
   state_.SetBatched(x.shape());
@@ -128,12 +124,9 @@ Tensor AdaptiveAvgPool2d::ForwardBatch(const Tensor& x) {
 
 Tensor AdaptiveAvgPool2d::BackwardBatch(const Tensor& grad_out,
                                         const PerExampleGradSink& /*sink*/) {
-  const std::vector<size_t>& in = state_.RequireBatched("AdaptiveAvgPool2d");
+  const std::vector<size_t>& in = RequireBatchedState();
   size_t batch = in[0], c = in[1], h = in[2], w = in[3];
-  DPBR_CHECK_EQ(grad_out.dim(0), batch);
-  DPBR_CHECK_EQ(grad_out.dim(1), c);
-  DPBR_CHECK_EQ(grad_out.dim(2), out_h_);
-  DPBR_CHECK_EQ(grad_out.dim(3), out_w_);
+  RequireGradShape(grad_out, {batch, c, out_h_, out_w_});
   Tensor dx({batch, c, h, w});
   const float* gy = grad_out.data();
   float* dxd = dx.data();
@@ -156,7 +149,7 @@ Tensor Flatten::Forward(const Tensor& x) {
 }
 
 Tensor Flatten::Backward(const Tensor& grad_out) {
-  const std::vector<size_t>& in = state_.RequirePerExample("Flatten");
+  const std::vector<size_t>& in = RequirePerExampleState();
   DPBR_CHECK_EQ(grad_out.size(), ShapeProduct(in, 0));
   auto r = grad_out.Reshape(in);
   DPBR_CHECK(r.ok());
@@ -164,7 +157,7 @@ Tensor Flatten::Backward(const Tensor& grad_out) {
 }
 
 Tensor Flatten::ForwardBatch(const Tensor& x) {
-  DPBR_CHECK_GE(x.ndim(), 2u);
+  RequireBatchedInput(x, 2, /*at_least_rank=*/true);
   state_.SetBatched(x.shape());
   auto r = x.Reshape({x.dim(0), ShapeProduct(x.shape(), 1)});
   DPBR_CHECK(r.ok());
@@ -173,7 +166,7 @@ Tensor Flatten::ForwardBatch(const Tensor& x) {
 
 Tensor Flatten::BackwardBatch(const Tensor& grad_out,
                               const PerExampleGradSink& /*sink*/) {
-  const std::vector<size_t>& in = state_.RequireBatched("Flatten");
+  const std::vector<size_t>& in = RequireBatchedState();
   DPBR_CHECK_EQ(grad_out.dim(0), in[0]);
   DPBR_CHECK_EQ(grad_out.size(), ShapeProduct(in, 0));
   auto r = grad_out.Reshape(in);

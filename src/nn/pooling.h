@@ -45,7 +45,6 @@ class AdaptiveAvgPool2d : public Layer {
 
   size_t out_h_;
   size_t out_w_;
-  BatchState state_;
 };
 
 /// Flattens each example to 1-d; Backward restores the original shape.
@@ -58,9 +57,6 @@ class Flatten : public Layer {
   Tensor BackwardBatch(const Tensor& grad_out,
                        const PerExampleGradSink& sink) override;
   std::string name() const override { return "Flatten"; }
-
- private:
-  BatchState state_;
 };
 
 }  // namespace nn

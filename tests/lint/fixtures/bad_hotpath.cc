@@ -5,6 +5,7 @@
 // lint-as: src/fixture/bad_hotpath.cc
 
 #include <cstdio>
+#include <functional>
 #include <mutex>
 #include <vector>
 
@@ -27,6 +28,14 @@ void ResizesInsideBlockedDispatch(std::vector<double>& buf) {
   ParallelForBlocked(buf.size(), 64, [&](size_t lo, size_t hi) {
     std::vector<double> local;
     local.resize(hi - lo);  // expect-lint: hotpath-alloc
+  });
+}
+
+void TypeErasesInsideDispatch(std::vector<float>& out) {
+  std::function<float(float)> shift = [](float v) { return v + 1.0f; };
+  ParallelFor(0, out.size(), [&](size_t i) {
+    std::function<float(float)> f = shift;  // expect-lint: hotpath-alloc
+    out[i] = f(out[i]);
   });
 }
 

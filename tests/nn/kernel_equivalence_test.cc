@@ -202,7 +202,9 @@ PerExampleRun RunPerExample(Sequential* model, const Tensor& batch,
 
 void CheckBatchedMatchesPerExample(std::unique_ptr<Sequential> model,
                                    std::vector<size_t> example_shape,
-                                   size_t num_classes, uint64_t seed) {
+                                   size_t num_classes, uint64_t seed,
+                                   bool fused = true) {
+  if (!fused) model->SetFusionEnabled(false);
   SplitRng rng(seed);
   model->InitParams(&rng);
   // N=1 exercises the degenerate microbatch, 3 and 7 leave ragged
@@ -443,6 +445,10 @@ TEST(KernelEquivalenceTest, ConvAndLinearBatchedPassesAreOneDispatch) {
   EXPECT_EQ(ParallelDispatchCount() - before, 1u) << "linear backward";
 }
 
+// Fusion is on by default, so these three pin fused == per-example at
+// N = 1, 3, 7; the Unfused* variants below pin unfused == per-example,
+// and the stage-fusion section pins fused == unfused directly.
+
 TEST(KernelEquivalenceTest, BatchedCnnMatchesPerExampleBitwise) {
   CheckBatchedMatchesPerExample(MakeCnn(1, 8, 3, 4), {1, 8, 8}, 4, 41);
 }
@@ -454,6 +460,193 @@ TEST(KernelEquivalenceTest, BatchedResidualCnnMatchesPerExampleBitwise) {
 
 TEST(KernelEquivalenceTest, BatchedMlpMatchesPerExampleBitwise) {
   CheckBatchedMatchesPerExample(MakeMlp(20, 8, 5), {20}, 5, 47);
+}
+
+TEST(KernelEquivalenceTest, UnfusedBatchedCnnMatchesPerExampleBitwise) {
+  CheckBatchedMatchesPerExample(MakeCnn(1, 8, 3, 4), {1, 8, 8}, 4, 41,
+                                /*fused=*/false);
+}
+
+TEST(KernelEquivalenceTest, UnfusedBatchedResidualCnnMatchesPerExampleBitwise) {
+  CheckBatchedMatchesPerExample(MakeResidualCnn(1, 8, 3, 4), {1, 8, 8}, 4, 43,
+                                /*fused=*/false);
+}
+
+TEST(KernelEquivalenceTest, UnfusedBatchedMlpMatchesPerExampleBitwise) {
+  CheckBatchedMatchesPerExample(MakeMlp(20, 8, 5), {20}, 5, 47,
+                                /*fused=*/false);
+}
+
+// --- Stage fusion (nn/fusion.h): Sequential's batched paths fold
+// Conv2d→ELU→GroupNorm and Linear→activation runs into single-dispatch
+// FusedStage nodes. The fused hooks run the unfused batched paths' exact
+// per-example kernel sequences, so fused == unfused == per-example
+// bitwise on every input, at every pool size, on every SIMD tier — and
+// the dispatch-count gates below prove the fusion actually collapses the
+// pool barriers instead of merely claiming to.
+
+struct FusionModelCase {
+  const char* name;
+  std::function<std::unique_ptr<Sequential>()> make;
+  std::vector<size_t> example_shape;
+  size_t num_classes;
+};
+
+// Defined in the cached-state section below.
+std::vector<size_t> WithBatch(size_t n, const std::vector<size_t>& shape);
+
+std::vector<FusionModelCase> FusionModelCases() {
+  return {
+      {"cnn", [] { return MakeCnn(1, 8, 3, 4); }, {1, 8, 8}, 4},
+      {"residual_cnn",
+       [] { return MakeResidualCnn(1, 8, 3, 4); },
+       {1, 8, 8},
+       4},
+      {"mlp", [] { return MakeMlp(20, 8, 5); }, {20}, 5},
+  };
+}
+
+struct LocalStepRun {
+  Tensor logits;
+  std::vector<float> grads;
+};
+
+LocalStepRun RunLocalStep(Sequential* model, const Tensor& batch,
+                          const std::vector<size_t>& labels) {
+  LocalStepRun r;
+  r.logits = model->ForwardBatch(batch);
+  BatchLossGrad lg = SoftmaxCrossEntropyBatch(r.logits, labels);
+  r.grads.resize(batch.dim(0) * model->NumParams());
+  model->BackwardBatchTo(lg.grad_logits, batch.dim(0), r.grads.data());
+  return r;
+}
+
+TEST(KernelEquivalenceTest, FusedMatchesUnfusedBitwiseAcrossPools) {
+  size_t hw = std::max<size_t>(2, std::thread::hardware_concurrency());
+  for (const FusionModelCase& mc : FusionModelCases()) {
+    for (size_t batch_n : {size_t{1}, size_t{3}, size_t{7}}) {
+      for (size_t threads : {size_t{1}, size_t{2}, hw}) {
+        SCOPED_TRACE(std::string(mc.name) + " batch " +
+                     std::to_string(batch_n) + " pool " +
+                     std::to_string(threads));
+        ThreadPool pool(threads);
+        ScopedPoolOverride override_pool(&pool);
+        std::unique_ptr<Sequential> fused = mc.make();
+        std::unique_ptr<Sequential> unfused = mc.make();
+        unfused->SetFusionEnabled(false);
+        SplitRng rng_a(277), rng_b(277);
+        fused->InitParams(&rng_a);
+        unfused->InitParams(&rng_b);
+        Tensor batch =
+            RandomTensor(WithBatch(batch_n, mc.example_shape), 281 + batch_n);
+        std::vector<size_t> labels(batch_n);
+        for (size_t ex = 0; ex < batch_n; ++ex) {
+          labels[ex] = ex % mc.num_classes;
+        }
+        LocalStepRun a = RunLocalStep(fused.get(), batch, labels);
+        LocalStepRun b = RunLocalStep(unfused.get(), batch, labels);
+        ASSERT_EQ(a.logits.shape(), b.logits.shape());
+        for (size_t i = 0; i < a.logits.size(); ++i) {
+          ASSERT_EQ(a.logits[i], b.logits[i]) << "logit " << i;
+        }
+        ASSERT_EQ(a.grads, b.grads);
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, FusedMatchesUnfusedBitwiseAcrossSimdTiers) {
+  constexpr size_t kN = 7;
+  for (simd::IsaLevel level :
+       {simd::IsaLevel::kScalar, simd::IsaLevel::kSse2, simd::IsaLevel::kAvx2,
+        simd::IsaLevel::kAvx512}) {
+    if (simd::KernelsFor(level) == nullptr) continue;
+    simd::ScopedForceIsa force(level);
+    for (const FusionModelCase& mc : FusionModelCases()) {
+      SCOPED_TRACE(std::string(mc.name) + " on " + simd::IsaName(level));
+      std::unique_ptr<Sequential> fused = mc.make();
+      std::unique_ptr<Sequential> unfused = mc.make();
+      unfused->SetFusionEnabled(false);
+      SplitRng rng_a(293), rng_b(293);
+      fused->InitParams(&rng_a);
+      unfused->InitParams(&rng_b);
+      Tensor batch = RandomTensor(WithBatch(kN, mc.example_shape), 307);
+      std::vector<size_t> labels(kN);
+      for (size_t ex = 0; ex < kN; ++ex) labels[ex] = ex % mc.num_classes;
+      LocalStepRun a = RunLocalStep(fused.get(), batch, labels);
+      LocalStepRun b = RunLocalStep(unfused.get(), batch, labels);
+      ASSERT_EQ(a.logits.shape(), b.logits.shape());
+      for (size_t i = 0; i < a.logits.size(); ++i) {
+        ASSERT_EQ(a.logits[i], b.logits[i]) << "logit " << i;
+      }
+      ASSERT_EQ(a.grads, b.grads);
+    }
+  }
+}
+
+// Dispatch accounting for a whole local step, with a multi-thread pool
+// and a multi-example microbatch so every dispatch is a real fan-out.
+struct StepDispatchCounts {
+  uint64_t forward = 0;
+  uint64_t backward = 0;
+};
+
+StepDispatchCounts CountStepDispatches(Sequential* model, const Tensor& batch,
+                                       const std::vector<size_t>& labels) {
+  StepDispatchCounts c;
+  uint64_t before = ParallelDispatchCount();
+  Tensor logits = model->ForwardBatch(batch);
+  c.forward = ParallelDispatchCount() - before;
+  BatchLossGrad lg = SoftmaxCrossEntropyBatch(logits, labels);
+  std::vector<float> grads(batch.dim(0) * model->NumParams());
+  before = ParallelDispatchCount();
+  model->BackwardBatchTo(lg.grad_logits, batch.dim(0), grads.data());
+  c.backward = ParallelDispatchCount() - before;
+  return c;
+}
+
+// The tentpole contract, proven by counter: the fused CNN local step is
+// exactly 3 dispatches per microbatch per direction (one per fused
+// conv-stage run, one for the pool barrier, one for the linear tail;
+// Flatten is free), the MLP is 1, and the residual CNN is 5 (its two
+// extra conv stages are separated by the Residual barrier). The unfused
+// paths must be strictly more expensive.
+TEST(KernelEquivalenceTest, FusedLocalStepDispatchCounts) {
+  ThreadPool pool(4);
+  ScopedPoolOverride override_pool(&pool);
+  constexpr size_t kN = 9;
+  struct Expect {
+    const char* name;
+    uint64_t forward, backward;
+  };
+  const Expect kExpect[] = {
+      {"cnn", 3, 3},
+      {"residual_cnn", 5, 5},
+      {"mlp", 1, 1},
+  };
+  for (const FusionModelCase& mc : FusionModelCases()) {
+    SCOPED_TRACE(mc.name);
+    const Expect* want = nullptr;
+    for (const Expect& e : kExpect) {
+      if (std::string(e.name) == mc.name) want = &e;
+    }
+    ASSERT_NE(want, nullptr);
+    std::unique_ptr<Sequential> fused = mc.make();
+    std::unique_ptr<Sequential> unfused = mc.make();
+    unfused->SetFusionEnabled(false);
+    SplitRng rng_a(311), rng_b(311);
+    fused->InitParams(&rng_a);
+    unfused->InitParams(&rng_b);
+    Tensor batch = RandomTensor(WithBatch(kN, mc.example_shape), 313);
+    std::vector<size_t> labels(kN);
+    for (size_t ex = 0; ex < kN; ++ex) labels[ex] = ex % mc.num_classes;
+    StepDispatchCounts f = CountStepDispatches(fused.get(), batch, labels);
+    StepDispatchCounts u = CountStepDispatches(unfused.get(), batch, labels);
+    EXPECT_EQ(f.forward, want->forward) << "fused forward";
+    EXPECT_EQ(f.backward, want->backward) << "fused backward";
+    EXPECT_GT(u.forward, f.forward) << "unfused forward not more expensive";
+    EXPECT_GT(u.backward, f.backward) << "unfused backward not more expensive";
+  }
 }
 
 TEST(KernelEquivalenceTest, WorkspaceReusesAndGrowsBuffers) {
@@ -799,6 +992,26 @@ TEST(KernelEquivalenceDeathTest, BackwardWithoutForwardDies) {
   GroupNorm gn(2, 4);
   Tensor gy = RandomTensor({4, 5, 5}, 191);
   EXPECT_DEATH(gn.Backward(gy), "no forward has run");
+}
+
+TEST(KernelEquivalenceDeathTest, FusedBackwardWithoutFusedForwardDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // An unfused forward fills the same layer caches a fused one would,
+  // but the FusedStage backward additionally needs the stage geometry
+  // its own forward recorded. Toggling fusion on between passes must
+  // fail loudly, not misdrive the panels.
+  constexpr size_t kN = 3;
+  auto model = MakeCnn(1, 8, 3, 4);
+  model->SetFusionEnabled(false);
+  SplitRng rng(397);
+  model->InitParams(&rng);
+  Tensor xb = RandomTensor({kN, 1, 8, 8}, 401);
+  Tensor logits = model->ForwardBatch(xb);
+  Tensor gy = RandomTensor(logits.shape(), 409);
+  std::vector<float> grads(kN * model->NumParams(), 0.0f);
+  model->SetFusionEnabled(true);
+  EXPECT_DEATH(model->BackwardBatchTo(gy, kN, grads.data()),
+               "cached-state contract violated");
 }
 
 }  // namespace
